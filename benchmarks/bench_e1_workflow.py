@@ -1,0 +1,37 @@
+"""E1 (Fig. 1): the complete ARGO workflow runs end-to-end on every use case.
+
+Reproduces the design workflow of the paper's only figure: model -> IR ->
+transformations -> HTG -> scheduling/mapping -> parallel program ->
+code-level + system-level WCET.  The benchmark measures the wall-clock cost
+of one full flow run per use case and prints the pipeline summary table.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_flow
+from repro.utils.tables import Table
+
+
+@pytest.mark.parametrize("usecase", ["egpws", "weaa", "polka"])
+def test_e1_full_workflow(benchmark, usecase):
+    def flow():
+        return run_flow(usecase, cores=4)[1]
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    table = Table(
+        ["use case", "tasks", "cores used", "sequential WCET", "parallel WCET", "speedup", "sync ops"],
+        title=f"E1 workflow summary ({usecase})",
+    )
+    table.add_row(
+        [
+            usecase,
+            len(result.htg.leaf_tasks()),
+            result.schedule.num_cores_used,
+            result.sequential_wcet,
+            result.system_wcet,
+            result.wcet_speedup,
+            result.parallel_program.num_sync_ops,
+        ]
+    )
+    emit(table)
+    assert result.system_wcet > 0

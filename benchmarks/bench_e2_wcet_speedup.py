@@ -1,0 +1,38 @@
+"""E2: WCET-aware parallelization reduces the guaranteed WCET vs sequential.
+
+Claim (paper Sections I-II): automatically parallelizing the model and
+accounting for contention yields a *guaranteed* WCET below the single-core
+bound, and the benefit grows with the number of cores.  The table reports the
+WCET speed-up over the sequential bound for 1..8 cores per use case.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_flow
+from repro.utils.tables import Table
+
+CORE_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("usecase", ["egpws", "weaa", "polka"])
+def test_e2_wcet_speedup(benchmark, usecase):
+    def sweep():
+        rows = []
+        for cores in CORE_COUNTS:
+            _, result = run_flow(usecase, cores=cores)
+            rows.append((cores, result.sequential_wcet, result.system_wcet, result.wcet_speedup))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["cores", "sequential WCET", "parallel WCET", "WCET speedup"],
+        title=f"E2 WCET speed-up vs core count ({usecase})",
+    )
+    for cores, seq, par, speedup in rows:
+        table.add_row([cores, seq, par, speedup])
+    emit(table)
+
+    speedups = {cores: s for cores, _, _, s in rows}
+    # parallelization must help on multi-core configurations
+    assert speedups[4] > 1.1
+    assert speedups[4] >= speedups[1] - 1e-9

@@ -1,0 +1,29 @@
+"""repro -- reproduction of the ARGO WCET-aware parallelization tool chain.
+
+The ARGO approach (Derrien et al., DATE 2017) combines model-based design,
+automatic parallelization and multi-core WCET analysis in a single flow.  This
+package implements every stage of that flow:
+
+* :mod:`repro.model` -- Xcos-like dataflow modelling with a mini-Scilab
+  behaviour language (Section II-A of the paper).
+* :mod:`repro.adl` -- Architecture Description Language and predictable
+  multi-core platform presets (Sections II-A, III-B, IV-C).
+* :mod:`repro.ir` -- C-subset intermediate representation (Section II-B).
+* :mod:`repro.frontend` -- compilation of dataflow models to the IR.
+* :mod:`repro.transforms` -- predictability-enhancing source-to-source
+  transformations (Sections II-B, III-C).
+* :mod:`repro.htg` -- Hierarchical Task Graph extraction (Section II-B).
+* :mod:`repro.scheduling` -- WCET-aware scheduling and mapping (Section II-B).
+* :mod:`repro.parallel` -- explicit parallel program model (Section II-C).
+* :mod:`repro.wcet` -- code-level and system-level WCET analysis
+  (Section II-D).
+* :mod:`repro.sim` -- discrete-event multi-core timing simulator used to
+  validate WCET bounds.
+* :mod:`repro.core` -- the end-to-end tool chain with iterative cross-layer
+  feedback (Section II-E, Fig. 1).
+* :mod:`repro.usecases` -- the EGPWS, WEAA and POLKA use cases (Section IV).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

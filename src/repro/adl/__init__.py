@@ -1,0 +1,48 @@
+"""Architecture Description Language (ADL) for predictable multi-cores.
+
+The ARGO ADL (paper Section II-A) captures everything the tool chain needs to
+compute WCETs: processors and their instruction timing, the memory hierarchy
+(scratchpads instead of caches), and the interconnect together with its
+worst-case access/transfer delays.  Section III-B's design guidelines for
+predictable multi-core architectures are encoded as validation checks on the
+platform description (:meth:`Platform.check_predictability`).
+
+Platform presets for the two target architectures of Section IV-C (a Recore
+Xentium-like many-core and a KIT Leon3 + iNoC tile-based many-core) live in
+:mod:`repro.adl.platforms`.
+"""
+
+from repro.adl.processor import ProcessorModel
+from repro.adl.memory import MemoryKind, MemoryRegion
+from repro.adl.interconnect import (
+    Interconnect,
+    TDMBus,
+    RoundRobinBus,
+    FullCrossbar,
+)
+from repro.adl.noc import MeshNoC, NocLink, xy_route
+from repro.adl.architecture import Core, Platform, PredictabilityReport
+from repro.adl.platforms import (
+    generic_predictable_multicore,
+    recore_xentium_like,
+    kit_leon3_inoc,
+)
+
+__all__ = [
+    "ProcessorModel",
+    "MemoryKind",
+    "MemoryRegion",
+    "Interconnect",
+    "TDMBus",
+    "RoundRobinBus",
+    "FullCrossbar",
+    "MeshNoC",
+    "NocLink",
+    "xy_route",
+    "Core",
+    "Platform",
+    "PredictabilityReport",
+    "generic_predictable_multicore",
+    "recore_xentium_like",
+    "kit_leon3_inoc",
+]

@@ -1,0 +1,127 @@
+"""Platform presets used throughout the reproduction.
+
+Three families are provided, mirroring paper Section IV-C:
+
+* :func:`generic_predictable_multicore` -- a simple bus-based predictable
+  multi-core used as the default target and in most unit tests;
+* :func:`recore_xentium_like` -- a Recore-style heterogeneous many-core with
+  Xentium DSP cores behind a round-robin bus / crossbar;
+* :func:`kit_leon3_inoc` -- a KIT-style tile-based many-core with Leon3
+  compute tiles connected by the WRR-arbitrated invasive NoC.
+"""
+
+from __future__ import annotations
+
+from repro.adl.architecture import Core, Platform
+from repro.adl.interconnect import FullCrossbar, RoundRobinBus, TDMBus
+from repro.adl.memory import external_dram, scratchpad, shared_sram
+from repro.adl.noc import MeshNoC
+from repro.adl.processor import (
+    ProcessorModel,
+    leon3_processor,
+    xentium_processor,
+)
+
+
+def generic_predictable_multicore(
+    cores: int = 4,
+    spm_kib: int = 64,
+    shared_kib: int = 1024,
+    shared_latency: int = 8,
+    clock_mhz: float = 100.0,
+) -> Platform:
+    """A generic bus-based predictable multi-core.
+
+    All cores are identical in-order RISC cores with private scratchpads, a
+    shared on-chip SRAM and a round-robin arbitrated bus.  This is the
+    "textbook" ARGO target used by most experiments.
+    """
+    if cores <= 0:
+        raise ValueError("core count must be positive")
+    proc = ProcessorModel(name="generic_riscv", clock_mhz=clock_mhz)
+    core_list = [
+        Core(core_id=i, processor=proc, scratchpad=scratchpad(f"spm{i}", spm_kib))
+        for i in range(cores)
+    ]
+    return Platform(
+        name=f"generic{cores}",
+        cores=core_list,
+        shared_memory=shared_sram(size_kib=shared_kib, latency=shared_latency),
+        interconnect=RoundRobinBus(),
+        description="Generic predictable multi-core (RR bus, scratchpads, shared SRAM)",
+    )
+
+
+def recore_xentium_like(
+    dsp_cores: int = 8,
+    control_cores: int = 1,
+    spm_kib: int = 32,
+    use_tdm_bus: bool = False,
+) -> Platform:
+    """A Recore-style heterogeneous many-core built from Xentium DSP tiles.
+
+    The real platform is an "IP agnostic many-core ... including the Xentium
+    processor and supporting more than hundred processors"; here we model a
+    configurable number of Xentium-like DSP cores plus a few control cores,
+    sharing an SRAM through either a round-robin or a TDM bus.
+    """
+    if dsp_cores <= 0:
+        raise ValueError("need at least one DSP core")
+    cores: list[Core] = []
+    xentium = xentium_processor()
+    control = ProcessorModel(name="arm_like_control", clock_mhz=200.0)
+    for i in range(dsp_cores):
+        cores.append(Core(core_id=i, processor=xentium, scratchpad=scratchpad(f"spm{i}", spm_kib)))
+    for j in range(control_cores):
+        cid = dsp_cores + j
+        cores.append(Core(core_id=cid, processor=control, scratchpad=scratchpad(f"spm{cid}", spm_kib)))
+    total = dsp_cores + control_cores
+    interconnect = TDMBus(num_slots=total) if use_tdm_bus else FullCrossbar()
+    return Platform(
+        name=f"recore_xentium{total}",
+        cores=cores,
+        shared_memory=shared_sram(size_kib=2048, latency=6),
+        interconnect=interconnect,
+        description="Recore-style Xentium many-core (crossbar/TDM, scratchpads)",
+    )
+
+
+def kit_leon3_inoc(
+    mesh_width: int = 2,
+    mesh_height: int = 2,
+    cores_per_tile: int = 2,
+    spm_kib: int = 64,
+) -> Platform:
+    """A KIT-style tile-based many-core: Leon3 tiles on the invasive NoC.
+
+    Each tile holds ``cores_per_tile`` Leon3-like cores with private
+    scratchpads; tiles are connected by a ``mesh_width`` x ``mesh_height``
+    mesh NoC with weighted-round-robin QoS routers providing latency and
+    bandwidth guarantees (reference [12] of the paper).  External DRAM is
+    reached through the NoC as well.
+    """
+    if cores_per_tile <= 0:
+        raise ValueError("cores_per_tile must be positive")
+    noc = MeshNoC(width=mesh_width, height=mesh_height)
+    leon = leon3_processor()
+    cores: list[Core] = []
+    core_id = 0
+    for tile in range(noc.num_tiles):
+        for _ in range(cores_per_tile):
+            cores.append(
+                Core(
+                    core_id=core_id,
+                    processor=leon,
+                    scratchpad=scratchpad(f"spm{core_id}", spm_kib),
+                    tile=tile,
+                )
+            )
+            core_id += 1
+    return Platform(
+        name=f"kit_leon3_{mesh_width}x{mesh_height}x{cores_per_tile}",
+        cores=cores,
+        shared_memory=external_dram(),
+        interconnect=RoundRobinBus(beat_latency=3),
+        noc=noc,
+        description="KIT-style tile-based many-core (Leon3 tiles, iNoC mesh with WRR QoS)",
+    )

@@ -1,0 +1,142 @@
+"""Processor timing models.
+
+A :class:`ProcessorModel` gives the worst-case cycle cost of every scalar
+operation the IR can express, plus flags describing speculative hardware
+features.  The paper's design guidelines (Section III-B) require avoiding
+hard-to-predict mechanisms (dynamic branch prediction, prefetching,
+write buffers, cache coherence); platforms whose processors enable them fail
+the predictability check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+#: Default worst-case operation latencies (cycles) for a simple in-order RISC
+#: pipeline.  Division and transcendental intrinsics are software-emulated
+#: and therefore expensive, which matches DSP-class cores such as the Xentium.
+DEFAULT_OP_CYCLES: dict[str, int] = {
+    "+": 1,
+    "-": 1,
+    "*": 3,
+    "/": 18,
+    "%": 18,
+    "min": 1,
+    "max": 1,
+    "<": 1,
+    "<=": 1,
+    ">": 1,
+    ">=": 1,
+    "==": 1,
+    "!=": 1,
+    "&&": 1,
+    "||": 1,
+    "!": 1,
+    "abs": 1,
+    "sqrt": 30,
+    "exp": 45,
+    "log": 45,
+    "sin": 40,
+    "cos": 40,
+    "tan": 50,
+    "atan2": 55,
+    "floor": 2,
+    "ceil": 2,
+    "pow": 60,
+    "hypot": 45,
+    "clamp": 2,
+}
+
+#: Fixed overheads charged by the WCET analysis for control constructs.
+DEFAULT_BRANCH_CYCLES = 2
+DEFAULT_LOOP_OVERHEAD_CYCLES = 2
+DEFAULT_CALL_OVERHEAD_CYCLES = 10
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Worst-case timing model of a single core.
+
+    Parameters
+    ----------
+    name:
+        Human-readable processor name (``"xentium"``, ``"leon3"`` ...).
+    clock_mhz:
+        Clock frequency; only used to convert cycles to wall-clock time in
+        reports, all analyses work in cycles.
+    op_cycles:
+        Worst-case latency of each IR operation in cycles.
+    branch_cycles / loop_overhead_cycles:
+        Fixed penalties for conditional branches and per-iteration loop
+        control (increment + compare + branch).
+    dynamic_branch_prediction / prefetcher / write_buffer / cache_coherence:
+        Speculative features.  They do not change the timing model (we always
+        assume the worst case) but make the platform fail the paper's
+        predictability guidelines.
+    timing_compositional:
+        Whether the core is fully timing compositional (no timing anomalies),
+        a prerequisite for the compositional system-level analysis.
+    """
+
+    name: str
+    clock_mhz: float = 100.0
+    op_cycles: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_OP_CYCLES))
+    branch_cycles: int = DEFAULT_BRANCH_CYCLES
+    loop_overhead_cycles: int = DEFAULT_LOOP_OVERHEAD_CYCLES
+    call_overhead_cycles: int = DEFAULT_CALL_OVERHEAD_CYCLES
+    dynamic_branch_prediction: bool = False
+    prefetcher: bool = False
+    write_buffer: bool = False
+    cache_coherence: bool = False
+    timing_compositional: bool = True
+
+    def cycles_for_op(self, op: str) -> int:
+        """Worst-case cycles for one IR operation ``op``.
+
+        Unknown operations are charged the most expensive known operation so
+        the estimate stays safe.
+        """
+        if op in self.op_cycles:
+            return self.op_cycles[op]
+        return max(self.op_cycles.values())
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this core's clock."""
+        return cycles / (self.clock_mhz * 1e6)
+
+    def scaled(self, factor: float) -> "ProcessorModel":
+        """A copy of this model with every operation cost scaled by ``factor``.
+
+        Used to model heterogeneous platforms (e.g. an accelerator tile that
+        executes arithmetic faster than the general-purpose cores).
+        """
+        if factor <= 0:
+            raise ValueError("scaling factor must be positive")
+        new_ops = {op: max(1, round(c * factor)) for op, c in self.op_cycles.items()}
+        return replace(self, op_cycles=new_ops)
+
+    @property
+    def is_predictable(self) -> bool:
+        """True when no hard-to-predict speculative feature is enabled."""
+        return not (
+            self.dynamic_branch_prediction
+            or self.prefetcher
+            or self.write_buffer
+            or self.cache_coherence
+        )
+
+
+def xentium_processor() -> ProcessorModel:
+    """A Xentium-like fixed-point/VLIW DSP core model (Recore Systems)."""
+    ops = dict(DEFAULT_OP_CYCLES)
+    # DSP datapath: cheap multiply-accumulate, expensive division.
+    ops.update({"*": 2, "/": 24, "%": 24, "sqrt": 36})
+    return ProcessorModel(name="xentium", clock_mhz=200.0, op_cycles=ops)
+
+
+def leon3_processor() -> ProcessorModel:
+    """A Leon3-like SPARC V8 core model (KIT compute tiles)."""
+    ops = dict(DEFAULT_OP_CYCLES)
+    ops.update({"*": 5, "/": 35, "%": 35, "sqrt": 55})
+    return ProcessorModel(name="leon3", clock_mhz=100.0, op_cycles=ops)

@@ -1,0 +1,18 @@
+"""End-to-end ARGO tool chain (paper Fig. 1) with cross-layer feedback."""
+
+from repro.core.config import ToolchainConfig
+from repro.core.exceptions import ToolchainError
+from repro.core.toolchain import ArgoToolchain, ToolchainResult
+from repro.core.feedback import CrossLayerFeedback, FeedbackHistoryEntry
+from repro.core.reporting import bottleneck_report, toolchain_summary
+
+__all__ = [
+    "ToolchainConfig",
+    "ToolchainError",
+    "ArgoToolchain",
+    "ToolchainResult",
+    "CrossLayerFeedback",
+    "FeedbackHistoryEntry",
+    "bottleneck_report",
+    "toolchain_summary",
+]

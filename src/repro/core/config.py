@@ -1,0 +1,45 @@
+"""Tool-chain configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+VALID_SCHEDULERS = ("wcet_list", "acet_list", "sequential", "simulated_annealing", "genetic", "bnb")
+VALID_GRANULARITIES = ("block", "loop")
+
+
+@dataclass
+class ToolchainConfig:
+    """Knobs of the ARGO flow exposed through the cross-layer interface.
+
+    These are the decisions the paper says end users should be able to
+    "control and influence" (Section II-E): task granularity, the number of
+    loop chunks, the scheduler, how many cores to use, whether to run the
+    predictability transformations and how many feedback iterations to spend.
+    """
+
+    granularity: str = "loop"
+    loop_chunks: int = 4
+    scheduler: str = "wcet_list"
+    max_cores: int | None = None
+    run_cleanup_passes: bool = True
+    allocate_scratchpads: bool = True
+    #: None = use the smallest core scratchpad of the platform.
+    scratchpad_capacity_bytes: int | None = None
+    feedback_iterations: int = 1
+    contention_weight: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.granularity not in VALID_GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {VALID_GRANULARITIES}, got {self.granularity!r}"
+            )
+        if self.scheduler not in VALID_SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {VALID_SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.loop_chunks < 1:
+            raise ValueError("loop_chunks must be at least 1")
+        if self.feedback_iterations < 1:
+            raise ValueError("feedback_iterations must be at least 1")

@@ -1,0 +1,5 @@
+"""Tool-chain level exceptions."""
+
+
+class ToolchainError(RuntimeError):
+    """Raised when a stage of the ARGO flow cannot complete."""

@@ -1,0 +1,107 @@
+"""Iterative cross-layer optimisation (paper Section II-E).
+
+WCET information computed at the end of the flow is fed back to the earlier
+stages: the feedback loop explores neighbouring configurations (task
+granularity, number of loop chunks, scheduler, contention weight), re-runs
+the flow and keeps the configuration with the lowest guaranteed WCET.  The
+history of attempted configurations is retained so the cross-layer interface
+can show end users *why* the final parallelization decisions were taken.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.config import ToolchainConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.toolchain import ArgoToolchain, ToolchainResult
+    from repro.model.diagram import Diagram
+
+
+@dataclass
+class FeedbackHistoryEntry:
+    """One attempted configuration and the WCET bound it achieved."""
+
+    iteration: int
+    config: ToolchainConfig
+    system_wcet: float
+    accepted: bool
+    note: str = ""
+
+
+@dataclass
+class CrossLayerFeedback:
+    """Drives the iterative optimisation around an :class:`ArgoToolchain`."""
+
+    toolchain: "ArgoToolchain"
+    history: list[FeedbackHistoryEntry] = field(default_factory=list)
+
+    def _candidates(self, base: ToolchainConfig, iteration: int) -> list[ToolchainConfig]:
+        """Configurations to explore at this iteration, derived from the base."""
+        candidates: list[ToolchainConfig] = []
+
+        def variant(**changes) -> ToolchainConfig:
+            return dataclasses.replace(base, feedback_iterations=1, **changes)
+
+        if iteration == 1:
+            candidates.append(variant())
+            return candidates
+        # later iterations: refine granularity and contention handling
+        candidates.append(variant(loop_chunks=max(1, base.loop_chunks // 2)))
+        candidates.append(variant(loop_chunks=base.loop_chunks * 2))
+        candidates.append(variant(contention_weight=base.contention_weight * 2.0))
+        if base.granularity == "block":
+            candidates.append(variant(granularity="loop"))
+        else:
+            candidates.append(variant(granularity="block"))
+        return candidates
+
+    def optimize(self, diagram: "Diagram") -> "ToolchainResult":
+        """Run up to ``config.feedback_iterations`` rounds and return the best."""
+        from repro.core.toolchain import ArgoToolchain
+
+        base_config = self.toolchain.config
+        iterations = base_config.feedback_iterations
+        best_result: "ToolchainResult | None" = None
+        best_config = dataclasses.replace(base_config, feedback_iterations=1)
+
+        for iteration in range(1, iterations + 1):
+            improved = False
+            for candidate in self._candidates(best_config, iteration):
+                chain = ArgoToolchain(self.toolchain.platform, candidate)
+                result = chain.run_once(diagram)
+                accepted = best_result is None or result.system_wcet < best_result.system_wcet
+                self.history.append(
+                    FeedbackHistoryEntry(
+                        iteration=iteration,
+                        config=candidate,
+                        system_wcet=result.system_wcet,
+                        accepted=accepted,
+                        note=(
+                            f"granularity={candidate.granularity}, chunks={candidate.loop_chunks}, "
+                            f"scheduler={candidate.scheduler}"
+                        ),
+                    )
+                )
+                if accepted:
+                    best_result = result
+                    best_config = candidate
+                    improved = True
+            if iteration > 1 and not improved:
+                break
+
+        assert best_result is not None
+        best_result.pass_reports = list(best_result.pass_reports)
+        return best_result
+
+    def summary(self) -> str:
+        lines = ["cross-layer feedback history:"]
+        for entry in self.history:
+            marker = "*" if entry.accepted else " "
+            lines.append(
+                f" {marker} iter {entry.iteration}: WCET={entry.system_wcet:.0f}  ({entry.note})"
+            )
+        return "\n".join(lines)

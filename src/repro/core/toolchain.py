@@ -1,0 +1,215 @@
+"""The ARGO tool chain driver: model -> IR -> HTG -> schedule -> WCET.
+
+``ArgoToolchain.run`` reproduces the design workflow of Fig. 1:
+
+1. model-based specification (a validated :class:`~repro.model.Diagram`);
+2. compilation to the IR and predictability-enhancing transformations;
+3. HTG extraction;
+4. WCET-aware scheduling/mapping onto the ADL platform;
+5. construction of the explicit parallel program model;
+6. code-level + system-level WCET analysis (the schedule's bound);
+7. optionally, iterative cross-layer optimisation (:mod:`repro.core.feedback`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.adl.architecture import Platform
+from repro.core.config import ToolchainConfig
+from repro.core.exceptions import ToolchainError
+from repro.frontend import CompiledModel, compile_diagram
+from repro.htg import HierarchicalTaskGraph, extract_htg
+from repro.htg.extraction import ExtractionOptions
+from repro.model.diagram import Diagram
+from repro.parallel import ParallelProgram, build_parallel_program
+from repro.scheduling import (
+    WcetAwareListScheduler,
+    branch_and_bound_schedule,
+    genetic_schedule,
+    sequential_schedule,
+    simulated_annealing_schedule,
+)
+from repro.scheduling.baselines import acet_driven_schedule
+from repro.scheduling.schedule import Schedule
+from repro.sim import SimulationResult, simulate_parallel_program
+from repro.transforms import (
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    PassManager,
+    ScratchpadAllocationPass,
+)
+from repro.transforms.base import PassReport
+from repro.wcet import HardwareCostModel, annotate_htg_wcets
+from repro.wcet.code_level import analyze_function_wcet
+
+
+@dataclass
+class ToolchainResult:
+    """Everything the flow produced for one application/platform pair."""
+
+    diagram_name: str
+    platform_name: str
+    config: ToolchainConfig
+    model: CompiledModel
+    htg: HierarchicalTaskGraph
+    schedule: Schedule
+    parallel_program: ParallelProgram
+    pass_reports: list[PassReport] = field(default_factory=list)
+
+    @property
+    def system_wcet(self) -> float:
+        """Guaranteed multi-core WCET bound (cycles)."""
+        return self.schedule.wcet_bound
+
+    @property
+    def sequential_wcet(self) -> float:
+        """Single-core WCET bound of the whole step function (cycles)."""
+        return self.metadata_sequential
+
+    metadata_sequential: float = 0.0
+
+    @property
+    def wcet_speedup(self) -> float:
+        """Sequential WCET divided by the parallel WCET bound."""
+        if self.system_wcet <= 0:
+            return 1.0
+        return self.metadata_sequential / self.system_wcet
+
+
+class ArgoToolchain:
+    """Facade running the whole flow for one target platform."""
+
+    def __init__(self, platform: Platform, config: ToolchainConfig | None = None) -> None:
+        self.platform = platform
+        self.config = config or ToolchainConfig()
+        report = platform.check_predictability()
+        if not report.passed:
+            raise ToolchainError(
+                "platform fails the predictability guidelines: "
+                + "; ".join(report.violations)
+            )
+
+    # ------------------------------------------------------------------ #
+    def compile_model(self, diagram: Diagram) -> tuple[CompiledModel, list[PassReport]]:
+        """Front end + predictability transformations."""
+        model = compile_diagram(diagram)
+        reports: list[PassReport] = []
+        manager = PassManager()
+        if self.config.run_cleanup_passes:
+            manager.add(ConstantFoldingPass())
+            manager.add(DeadCodeEliminationPass())
+        if self.config.allocate_scratchpads:
+            capacity = (
+                self.config.scratchpad_capacity_bytes
+                if self.config.scratchpad_capacity_bytes is not None
+                else self.platform.min_scratchpad_bytes()
+            )
+            # Inter-task signal buffers must stay shared: they are how cores
+            # exchange data.  Only block-internal shared state is eligible.
+            protected = {
+                name
+                for name, _ in (
+                    (decl.name, decl) for decl in model.entry.all_decls()
+                )
+                if name.startswith("sig_") or name.startswith("in_") or name.startswith("out_")
+            }
+            manager.add(
+                ScratchpadAllocationPass(
+                    capacity_bytes=capacity,
+                    shared_latency=self.platform.shared_memory.read_latency,
+                    spm_latency=self.platform.cores[0].scratchpad.read_latency,
+                    protect=protected,
+                )
+            )
+        reports = manager.run(model.entry)
+        return model, reports
+
+    def extract_tasks(self, model: CompiledModel) -> HierarchicalTaskGraph:
+        options = ExtractionOptions(
+            granularity=self.config.granularity,
+            loop_chunks=self.config.loop_chunks,
+        )
+        htg = extract_htg(model, options)
+        cost_model = HardwareCostModel(self.platform, self.platform.cores[0].core_id)
+        annotate_htg_wcets(htg, model.entry, cost_model)
+        return htg
+
+    def schedule_tasks(self, htg: HierarchicalTaskGraph, model: CompiledModel) -> Schedule:
+        scheduler = self.config.scheduler
+        function = model.entry
+        if scheduler == "sequential":
+            return sequential_schedule(htg, function, self.platform)
+        if scheduler == "acet_list":
+            return acet_driven_schedule(htg, function, self.platform, self.config.max_cores)
+        if scheduler == "simulated_annealing":
+            return simulated_annealing_schedule(
+                htg, function, self.platform, self.config.max_cores, seed=self.config.seed
+            )
+        if scheduler == "genetic":
+            return genetic_schedule(
+                htg, function, self.platform, self.config.max_cores, seed=self.config.seed
+            )
+        if scheduler == "bnb":
+            schedule, _ = branch_and_bound_schedule(
+                htg, function, self.platform, self.config.max_cores
+            )
+            return schedule
+        return WcetAwareListScheduler(
+            platform=self.platform,
+            contention_weight=self.config.contention_weight,
+            max_cores=self.config.max_cores,
+        ).schedule(htg, function)
+
+    # ------------------------------------------------------------------ #
+    def run(self, diagram: Diagram) -> ToolchainResult:
+        """Run the complete flow on ``diagram``."""
+        if self.config.feedback_iterations > 1:
+            from repro.core.feedback import CrossLayerFeedback
+
+            return CrossLayerFeedback(self).optimize(diagram)
+        return self.run_once(diagram)
+
+    def run_once(self, diagram: Diagram) -> ToolchainResult:
+        """One pass through the flow with the current configuration."""
+        model, pass_reports = self.compile_model(diagram)
+        htg = self.extract_tasks(model)
+        schedule = self.schedule_tasks(htg, model)
+        parallel_program = build_parallel_program(htg, model.entry, self.platform, schedule)
+
+        sequential_bound = analyze_function_wcet(
+            model.entry, HardwareCostModel(self.platform, self.platform.cores[0].core_id)
+        ).total
+
+        result = ToolchainResult(
+            diagram_name=diagram.name,
+            platform_name=self.platform.name,
+            config=self.config,
+            model=model,
+            htg=htg,
+            schedule=schedule,
+            parallel_program=parallel_program,
+            pass_reports=pass_reports,
+        )
+        result.metadata_sequential = sequential_bound
+        return result
+
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self, result: ToolchainResult, inputs: Mapping[str, Any] | None = None
+    ) -> SimulationResult:
+        """Execute the parallel program on the platform model.
+
+        ``inputs`` maps external inputs (``block.port`` or parameter names) to
+        concrete values; constant parameters and state initial values are
+        filled in automatically.
+        """
+        bindings = result.model.run_inputs(dict(inputs or {}))
+        return simulate_parallel_program(
+            result.parallel_program,
+            result.htg,
+            result.model.entry,
+            self.platform,
+            bindings,
+        )

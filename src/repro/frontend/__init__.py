@@ -1,0 +1,17 @@
+"""Model-to-IR front end (paper Section II-B).
+
+``compile_diagram`` turns a validated dataflow diagram into a single IR entry
+function whose body is a sequence of per-block code regions; the mapping from
+regions back to blocks is preserved so the HTG extractor can name tasks after
+the originating blocks.
+"""
+
+from repro.frontend.lowering import ScilabLoweringError, lower_script
+from repro.frontend.codegen import CompiledModel, compile_diagram
+
+__all__ = [
+    "ScilabLoweringError",
+    "lower_script",
+    "CompiledModel",
+    "compile_diagram",
+]

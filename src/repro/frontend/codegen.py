@@ -1,0 +1,247 @@
+"""Compilation of dataflow diagrams into the C-subset IR.
+
+``compile_diagram`` produces one IR entry function representing a single
+synchronous step of the diagram.  The function body is a sequence of
+per-block regions (one ``ir.Block`` per dataflow block, in execution order);
+inter-block signals become shared buffers, diagram inputs/outputs become
+function parameters, array-valued block parameters become constant input
+arrays, and block state becomes persistent shared storage.
+
+The per-block region mapping (:attr:`CompiledModel.block_regions`) is what
+the HTG extractor uses to name tasks after the originating blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.expressions import Const, Expr, Var
+from repro.ir.program import Function, Program, Storage, VarDecl
+from repro.ir.statements import Block as IRBlock
+from repro.ir.types import FLOAT, ArrayType
+from repro.frontend.lowering import ScilabLoweringError, lower_script
+from repro.model.blocks import Block, Port
+from repro.model.diagram import Connection, Diagram
+
+
+def _signal_name(connection: Connection) -> str:
+    return f"sig_{connection.src_block}_{connection.src_port}"
+
+
+def _input_name(block: str, port: str) -> str:
+    return f"in_{block}_{port}"
+
+
+def _output_name(block: str, port: str) -> str:
+    return f"out_{block}_{port}"
+
+
+def _param_name(block: str, param: str) -> str:
+    return f"p_{block}_{param}"
+
+
+def _state_name(block: str, state: str) -> str:
+    return f"st_{block}_{state}"
+
+
+@dataclass
+class CompiledModel:
+    """Result of compiling a diagram: IR program plus binding metadata."""
+
+    diagram_name: str
+    program: Program
+    entry_name: str
+    #: External input parameter name -> (block, port, shape).
+    inputs: dict[str, tuple[str, str, tuple[int, ...]]] = field(default_factory=dict)
+    #: External output parameter name -> (block, port, shape).
+    outputs: dict[str, tuple[str, str, tuple[int, ...]]] = field(default_factory=dict)
+    #: Constant array parameters that must be passed on every invocation.
+    parameter_values: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Initial values for persistent state variables.
+    state_values: dict[str, Any] = field(default_factory=dict)
+    #: Ordered (block name, IR region) pairs composing the entry function body.
+    block_regions: list[tuple[str, IRBlock]] = field(default_factory=list)
+
+    @property
+    def entry(self) -> Function:
+        return self.program.lookup(self.entry_name)
+
+    def run_inputs(self, external: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Build a full input binding for the IR interpreter.
+
+        Combines constant parameters, (initial) state values and the caller's
+        external inputs keyed either by parameter name or ``block.port``.
+        """
+        bindings: dict[str, Any] = dict(self.parameter_values)
+        bindings.update(self.state_values)
+        external = external or {}
+        for param_name, (block, port, shape) in self.inputs.items():
+            for key in (param_name, f"{block}.{port}"):
+                if key in external:
+                    bindings[param_name] = external[key]
+                    break
+            else:
+                bindings[param_name] = 0.0 if shape == () else np.zeros(shape)
+        return bindings
+
+    def output_key(self, block: str, port: str) -> str:
+        return _output_name(block, port)
+
+
+class ModelCompilationError(ValueError):
+    """Raised when a diagram cannot be compiled to IR."""
+
+
+def _declare_port_var(
+    fb: FunctionBuilder, name: str, port: Port, storage: Storage
+) -> Var:
+    if port.is_scalar:
+        if storage is Storage.INPUT:
+            return fb.scalar_input(name)
+        fb._function.declare(VarDecl(name, FLOAT, storage))
+        return Var(name, FLOAT)
+    ty = ArrayType(FLOAT, port.shape)
+    if storage is Storage.INPUT:
+        fb._function.params.append(VarDecl(name, ty, Storage.INPUT))
+    else:
+        fb._function.declare(VarDecl(name, ty, storage))
+    return Var(name, ty)
+
+
+def compile_diagram(diagram: Diagram, entry_name: str | None = None) -> CompiledModel:
+    """Compile ``diagram`` to an IR program (one synchronous step)."""
+    diagram.validate()
+    entry_name = entry_name or f"{diagram.name}_step"
+    fb = FunctionBuilder(entry_name)
+    model = CompiledModel(diagram_name=diagram.name, program=Program(diagram.name), entry_name=entry_name)
+
+    # --- declare signals, external I/O, parameters and state -------------- #
+    signal_vars: dict[tuple[str, str], Var] = {}
+    for conn in diagram.connections:
+        key = (conn.src_block, conn.src_port)
+        if key in signal_vars:
+            continue
+        port = diagram.blocks[conn.src_block].output_port(conn.src_port)
+        signal_vars[key] = _declare_port_var(fb, _signal_name(conn), port, Storage.SHARED)
+
+    input_vars: dict[tuple[str, str], Var] = {}
+    for block_name, port_name in diagram.external_inputs:
+        port = diagram.blocks[block_name].input_port(port_name)
+        name = _input_name(block_name, port_name)
+        input_vars[(block_name, port_name)] = _declare_port_var(fb, name, port, Storage.INPUT)
+        model.inputs[name] = (block_name, port_name, port.shape)
+
+    output_vars: dict[tuple[str, str], Var] = {}
+    for block_name, port_name in diagram.external_outputs:
+        port = diagram.blocks[block_name].output_port(port_name)
+        name = _output_name(block_name, port_name)
+        output_vars[(block_name, port_name)] = _declare_port_var(fb, name, port, Storage.OUTPUT)
+        model.outputs[name] = (block_name, port_name, port.shape)
+
+    param_vars: dict[tuple[str, str], Expr] = {}
+    for block in diagram.blocks.values():
+        for pname, pvalue in block.params.items():
+            if np.isscalar(pvalue):
+                param_vars[(block.name, pname)] = Const(
+                    int(pvalue) if float(pvalue).is_integer() else float(pvalue)
+                )
+            else:
+                arr = np.asarray(pvalue, dtype=float)
+                var_name = _param_name(block.name, pname)
+                ty = ArrayType(FLOAT, arr.shape)
+                fb._function.params.append(VarDecl(var_name, ty, Storage.INPUT))
+                param_vars[(block.name, pname)] = Var(var_name, ty)
+                model.parameter_values[var_name] = arr
+
+    state_vars: dict[tuple[str, str], Var] = {}
+    for block in diagram.blocks.values():
+        for sname, svalue in block.state.items():
+            var_name = _state_name(block.name, sname)
+            if np.isscalar(svalue):
+                fb._function.declare(VarDecl(var_name, FLOAT, Storage.SHARED, initial=float(svalue)))
+                state_vars[(block.name, sname)] = Var(var_name, FLOAT)
+                model.state_values[var_name] = float(svalue)
+            else:
+                arr = np.asarray(svalue, dtype=float)
+                ty = ArrayType(FLOAT, arr.shape)
+                fb._function.declare(VarDecl(var_name, ty, Storage.SHARED))
+                state_vars[(block.name, sname)] = Var(var_name, ty)
+                model.state_values[var_name] = arr
+
+    # --- lower each block in execution order ------------------------------ #
+    driver_of: dict[tuple[str, str], Connection] = {
+        (c.dst_block, c.dst_port): c for c in diagram.connections
+    }
+    for block_name in diagram.execution_order():
+        block = diagram.blocks[block_name]
+        bindings: dict[str, Expr] = {}
+        for port in block.inputs:
+            key = (block_name, port.name)
+            if key in driver_of:
+                conn = driver_of[key]
+                bindings[port.name] = signal_vars[(conn.src_block, conn.src_port)]
+            elif key in input_vars:
+                bindings[port.name] = input_vars[key]
+            else:  # pragma: no cover - caught by diagram.validate()
+                raise ModelCompilationError(
+                    f"input {block_name}.{port.name} has no driver"
+                )
+        for port in block.outputs:
+            key = (block_name, port.name)
+            if key in signal_vars:
+                bindings[port.name] = signal_vars[key]
+            elif key in output_vars:
+                bindings[port.name] = output_vars[key]
+            else:
+                # Unobserved output: still needs storage for the behaviour.
+                var = _declare_port_var(
+                    fb, f"unused_{block_name}_{port.name}", port, Storage.LOCAL
+                )
+                bindings[port.name] = var
+        for pname in block.params:
+            bindings[pname] = param_vars[(block_name, pname)]
+        for sname in block.state:
+            bindings[sname] = state_vars[(block_name, sname)]
+
+        region = IRBlock()
+        fb._blocks.append(region)
+        try:
+            lower_script(block.script, fb, bindings, temp_prefix=f"{block_name}__")
+        except ScilabLoweringError as exc:
+            raise ModelCompilationError(
+                f"block {block_name!r} ({block.kind}): {exc}"
+            ) from exc
+        finally:
+            fb._blocks.pop()
+        fb.emit(region)
+        region.annotation = block_name  # type: ignore[attr-defined]
+        model.block_regions.append((block_name, region))
+
+        # If an output port is both connected and externally observed, copy
+        # the signal buffer into the external output after the block region.
+        for port in block.outputs:
+            key = (block_name, port.name)
+            if key in signal_vars and key in output_vars:
+                copy_region = IRBlock()
+                fb._blocks.append(copy_region)
+                try:
+                    src = signal_vars[key]
+                    dst = output_vars[key]
+                    if port.is_scalar:
+                        fb.assign(dst, src)
+                    else:
+                        with fb.loop(f"cp_{block_name}_{port.name}", 0, port.shape[0]) as i:
+                            fb.assign(fb.at(dst, i), fb.at(src, i))
+                finally:
+                    fb._blocks.pop()
+                fb.emit(copy_region)
+                model.block_regions.append((f"{block_name}__copyout", copy_region))
+
+    function = fb.build()
+    function.annotations["diagram"] = diagram.name
+    model.program.add(function)
+    return model

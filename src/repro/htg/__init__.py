@@ -1,0 +1,21 @@
+"""Hierarchical Task Graph (HTG) extraction (paper Section II-B).
+
+The HTG is the program representation handed to the scheduling/mapping stage:
+tasks carry the IR statements they execute, the variables/buffers that must be
+communicated between tasks, and the worst-case number of shared-resource
+accesses.  Loops form an additional hierarchy level; parallelizable loops can
+be split into chunk tasks to expose fine-grain parallelism.
+"""
+
+from repro.htg.task import Task, TaskKind
+from repro.htg.graph import HierarchicalTaskGraph, TaskEdge
+from repro.htg.extraction import extract_htg, is_parallelizable_loop
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "HierarchicalTaskGraph",
+    "TaskEdge",
+    "extract_htg",
+    "is_parallelizable_loop",
+]

@@ -1,0 +1,134 @@
+"""The Hierarchical Task Graph container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.htg.task import Task, TaskKind
+from repro.utils.graphs import is_acyclic, longest_path_length, topological_order, transitive_closure
+
+
+@dataclass(frozen=True)
+class TaskEdge:
+    """A data dependence between two tasks.
+
+    ``payload_bytes`` is the amount of data that must be communicated when
+    the two tasks are mapped to different cores; ``variables`` names the
+    buffers involved.
+    """
+
+    src: str
+    dst: str
+    payload_bytes: int = 0
+    variables: tuple[str, ...] = ()
+
+
+@dataclass
+class HierarchicalTaskGraph:
+    """A DAG of tasks with loop-hierarchy bookkeeping."""
+
+    name: str
+    tasks: dict[str, Task] = field(default_factory=dict)
+    edges: list[TaskEdge] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def add_task(self, task: Task) -> Task:
+        if task.task_id in self.tasks:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        self.tasks[task.task_id] = task
+        return task
+
+    def add_edge(self, src: str, dst: str, payload_bytes: int = 0, variables: tuple[str, ...] = ()) -> TaskEdge:
+        if src not in self.tasks or dst not in self.tasks:
+            raise KeyError(f"edge {src}->{dst} references unknown tasks")
+        if src == dst:
+            raise ValueError("self-dependences are not allowed")
+        for existing in self.edges:
+            if existing.src == src and existing.dst == dst:
+                return existing
+        edge = TaskEdge(src, dst, payload_bytes, variables)
+        self.edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------ #
+    def task(self, task_id: str) -> Task:
+        return self.tasks[task_id]
+
+    def edge_pairs(self) -> list[tuple[str, str]]:
+        return [(e.src, e.dst) for e in self.edges]
+
+    def predecessors(self, task_id: str) -> list[str]:
+        return [e.src for e in self.edges if e.dst == task_id]
+
+    def successors(self, task_id: str) -> list[str]:
+        return [e.dst for e in self.edges if e.src == task_id]
+
+    def edge(self, src: str, dst: str) -> TaskEdge | None:
+        for e in self.edges:
+            if e.src == src and e.dst == dst:
+                return e
+        return None
+
+    def validate(self) -> None:
+        if not is_acyclic(self.edge_pairs(), self.tasks.keys()):
+            raise ValueError(f"HTG {self.name!r} contains a dependence cycle")
+
+    def topological_tasks(self) -> list[Task]:
+        order = topological_order(self.tasks.keys(), self.edge_pairs())
+        return [self.tasks[str(tid)] for tid in order]
+
+    def leaf_tasks(self) -> list[Task]:
+        """Schedulable tasks (everything except synthetic source/sink)."""
+        return [t for t in self.tasks.values() if not t.is_synthetic]
+
+    def children_of(self, parent_id: str) -> list[Task]:
+        return [t for t in self.tasks.values() if t.parent == parent_id]
+
+    # ------------------------------------------------------------------ #
+    def critical_path_length(self, include_edges: bool = False, platform=None) -> float:
+        """Length of the heaviest dependence chain using task WCETs.
+
+        This is the theoretical lower bound on any schedule's makespan with
+        unlimited cores (and zero communication when ``include_edges`` is
+        False).
+        """
+        def edge_weight(u, v):
+            if not include_edges or platform is None:
+                return 0.0
+            edge = self.edge(str(u), str(v))
+            if edge is None or edge.payload_bytes == 0:
+                return 0.0
+            return platform.communication_latency(edge.payload_bytes, 0, 1)
+
+        return longest_path_length(
+            self.tasks.keys(),
+            self.edge_pairs(),
+            {tid: t.wcet for tid, t in self.tasks.items()},
+            edge_weight if include_edges else None,
+        )
+
+    def total_wcet(self) -> float:
+        """Sum of all task WCETs (sequential execution upper bound)."""
+        return sum(t.wcet for t in self.tasks.values())
+
+    def ancestors(self, task_id: str) -> set[str]:
+        closure = transitive_closure(self.tasks.keys(), self.edge_pairs())
+        return {str(u) for (u, v) in closure if v == task_id}
+
+    def dependent_pairs(self) -> set[tuple[str, str]]:
+        """All ordered pairs (u, v) where v transitively depends on u."""
+        return {(str(u), str(v)) for (u, v) in transitive_closure(self.tasks.keys(), self.edge_pairs())}
+
+    def summary(self) -> str:
+        lines = [
+            f"HTG {self.name}: {len(self.leaf_tasks())} tasks, {len(self.edges)} edges, "
+            f"critical path {self.critical_path_length():.0f} cycles"
+        ]
+        for task in self.topological_tasks():
+            if task.is_synthetic:
+                continue
+            lines.append(
+                f"  {task.task_id} [{task.kind.value}] wcet={task.wcet:.0f} "
+                f"shared_accesses={task.total_shared_accesses}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""C-subset intermediate representation (IR) used by the ARGO tool chain.
+
+The Xcos/Scilab models are compiled to this IR (paper Section II-B); the
+predictability transformations, the HTG extraction and the WCET analyses all
+operate on it.  The IR is *structured* (no goto): programs are trees of
+statements with explicit counted loops, which keeps loop-bound analysis and
+structural WCET computation exact.
+
+Main entry points
+-----------------
+* :class:`repro.ir.program.Program`, :class:`repro.ir.program.Function` --
+  top-level containers.
+* :class:`repro.ir.builder.FunctionBuilder` -- fluent construction helper.
+* :class:`repro.ir.interpreter.Interpreter` -- functional execution with
+  operation / memory-access accounting.
+* :class:`repro.ir.cfg.ControlFlowGraph` -- basic-block view used by IPET.
+"""
+
+from repro.ir.types import (
+    ScalarKind,
+    ScalarType,
+    ArrayType,
+    INT,
+    FLOAT,
+    BOOL,
+)
+from repro.ir.expressions import (
+    Expr,
+    Const,
+    Var,
+    BinOp,
+    UnOp,
+    ArrayRef,
+    Call,
+)
+from repro.ir.statements import (
+    Stmt,
+    Assign,
+    Block,
+    If,
+    For,
+    While,
+    Return,
+    ExprStmt,
+)
+from repro.ir.program import Storage, VarDecl, Function, Program
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import to_c
+from repro.ir.interpreter import Interpreter, ExecutionStats
+from repro.ir.cfg import ControlFlowGraph, build_cfg
+
+__all__ = [
+    "ScalarKind",
+    "ScalarType",
+    "ArrayType",
+    "INT",
+    "FLOAT",
+    "BOOL",
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "UnOp",
+    "ArrayRef",
+    "Call",
+    "Stmt",
+    "Assign",
+    "Block",
+    "If",
+    "For",
+    "While",
+    "Return",
+    "ExprStmt",
+    "Storage",
+    "VarDecl",
+    "Function",
+    "Program",
+    "FunctionBuilder",
+    "to_c",
+    "Interpreter",
+    "ExecutionStats",
+    "ControlFlowGraph",
+    "build_cfg",
+]

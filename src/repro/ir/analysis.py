@@ -1,0 +1,215 @@
+"""Static analyses on the IR: reads/writes, memory access counting, footprints.
+
+These analyses feed three consumers:
+
+* the HTG extractor, which needs per-task read/write sets to build data
+  dependences and per-task worst-case shared-resource access counts
+  (paper Section II-B: task nodes "include additional information on possible
+  shared resource accesses (list of shared resources, and worst case number
+  of accesses)");
+* the WCET code-level analysis, which charges memory latencies per access;
+* the scratchpad allocator, which ranks arrays by access frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.expressions import ArrayRef, Expr, Var
+from repro.ir.program import Function, Storage, VarDecl
+from repro.ir.statements import Assign, Block, ExprStmt, For, If, Return, Stmt, While
+from repro.ir.loops import loop_trip_count
+
+
+@dataclass
+class AccessSummary:
+    """Worst-case counts of array accesses performed by a statement subtree.
+
+    ``reads``/``writes`` map array names to worst-case access counts; scalar
+    variables are assumed to live in registers and are not counted.
+    """
+
+    reads: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "AccessSummary") -> None:
+        for name, count in other.reads.items():
+            self.reads[name] = self.reads.get(name, 0) + count
+        for name, count in other.writes.items():
+            self.writes[name] = self.writes.get(name, 0) + count
+
+    def scaled(self, factor: int) -> "AccessSummary":
+        return AccessSummary(
+            reads={k: v * factor for k, v in self.reads.items()},
+            writes={k: v * factor for k, v in self.writes.items()},
+        )
+
+    def maxed(self, other: "AccessSummary") -> "AccessSummary":
+        """Element-wise max of the two summaries (used for if branches)."""
+        result = AccessSummary(dict(self.reads), dict(self.writes))
+        for name, count in other.reads.items():
+            result.reads[name] = max(result.reads.get(name, 0), count)
+        for name, count in other.writes.items():
+            result.writes[name] = max(result.writes.get(name, 0), count)
+        return result
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes.values())
+
+    @property
+    def total(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def touched_arrays(self) -> set[str]:
+        return set(self.reads) | set(self.writes)
+
+
+def _expr_array_reads(expr: Expr) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for ref in expr.array_reads():
+        counts[ref.array] = counts.get(ref.array, 0) + 1
+    return counts
+
+
+def access_summary(stmt: Stmt) -> AccessSummary:
+    """Worst-case array access counts for the subtree rooted at ``stmt``.
+
+    Loops multiply their body counts by the worst-case trip count; the two
+    arms of an ``if`` contribute the element-wise maximum (the worst case).
+    """
+    if isinstance(stmt, Assign):
+        summary = AccessSummary()
+        for expr in stmt.expressions():
+            for name, count in _expr_array_reads(expr).items():
+                summary.reads[name] = summary.reads.get(name, 0) + count
+        if isinstance(stmt.target, ArrayRef):
+            summary.writes[stmt.target.array] = summary.writes.get(stmt.target.array, 0) + 1
+        return summary
+    if isinstance(stmt, (Return, ExprStmt)):
+        summary = AccessSummary()
+        for expr in stmt.expressions():
+            for name, count in _expr_array_reads(expr).items():
+                summary.reads[name] = summary.reads.get(name, 0) + count
+        return summary
+    if isinstance(stmt, Block):
+        summary = AccessSummary()
+        for child in stmt.stmts:
+            summary.merge(access_summary(child))
+        return summary
+    if isinstance(stmt, If):
+        summary = AccessSummary()
+        for name, count in _expr_array_reads(stmt.cond).items():
+            summary.reads[name] = summary.reads.get(name, 0) + count
+        branch = access_summary(stmt.then_body).maxed(access_summary(stmt.else_body))
+        summary.merge(branch)
+        return summary
+    if isinstance(stmt, For):
+        trip = loop_trip_count(stmt)
+        summary = AccessSummary()
+        for expr in stmt.expressions():
+            for name, count in _expr_array_reads(expr).items():
+                summary.reads[name] = summary.reads.get(name, 0) + count
+        summary.merge(access_summary(stmt.body).scaled(trip))
+        return summary
+    if isinstance(stmt, While):
+        summary = AccessSummary()
+        for name, count in _expr_array_reads(stmt.cond).items():
+            summary.reads[name] = summary.reads.get(name, 0) + count * (stmt.max_trip_count + 1)
+        summary.merge(access_summary(stmt.body).scaled(stmt.max_trip_count))
+        return summary
+    raise TypeError(f"unsupported statement {type(stmt).__name__}")
+
+
+def read_write_sets(stmt: Stmt) -> tuple[set[str], set[str]]:
+    """Names of variables (scalars and arrays) read and written by ``stmt``."""
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for node in stmt.walk():
+        reads |= node.variables_read()
+        writes |= node.variables_written()
+    return reads, writes
+
+
+def shared_access_summary(function: Function, stmt: Stmt) -> AccessSummary:
+    """Like :func:`access_summary` but restricted to shared-storage arrays.
+
+    This is the quantity the system-level WCET analysis cares about: accesses
+    to core-private scratchpads or locals can never interfere with other
+    cores.
+    """
+    full = access_summary(stmt)
+    shared_names = {
+        d.name
+        for d in function.all_decls()
+        if d.is_array and d.storage in (Storage.SHARED, Storage.INPUT, Storage.OUTPUT)
+    }
+    return AccessSummary(
+        reads={k: v for k, v in full.reads.items() if k in shared_names},
+        writes={k: v for k, v in full.writes.items() if k in shared_names},
+    )
+
+
+def storage_of(function: Function, name: str) -> Storage:
+    """Storage class of variable ``name`` (LOCAL for loop indices/temps)."""
+    decl = function.lookup(name)
+    if decl is None:
+        return Storage.LOCAL
+    return decl.storage
+
+
+def array_footprints(function: Function) -> dict[str, int]:
+    """Map each declared array to its size in bytes."""
+    return {d.name: d.size_bytes for d in function.arrays()}
+
+
+def operation_histogram(stmt: Stmt) -> dict[str, int]:
+    """Worst-case scalar operation histogram for the subtree at ``stmt``.
+
+    Like :func:`access_summary`, loops scale by trip count and conditionals
+    take the per-operator maximum across arms.
+    """
+    if isinstance(stmt, (Assign, Return, ExprStmt)):
+        counts: dict[str, int] = {}
+        for expr in stmt.expressions():
+            for op, n in expr.operation_count().items():
+                counts[op] = counts.get(op, 0) + n
+        return counts
+    if isinstance(stmt, Block):
+        counts = {}
+        for child in stmt.stmts:
+            for op, n in operation_histogram(child).items():
+                counts[op] = counts.get(op, 0) + n
+        return counts
+    if isinstance(stmt, If):
+        counts = dict(stmt.cond.operation_count())
+        then_c = operation_histogram(stmt.then_body)
+        else_c = operation_histogram(stmt.else_body)
+        merged: dict[str, int] = {}
+        for op in set(then_c) | set(else_c):
+            merged[op] = max(then_c.get(op, 0), else_c.get(op, 0))
+        for op, n in merged.items():
+            counts[op] = counts.get(op, 0) + n
+        return counts
+    if isinstance(stmt, For):
+        trip = loop_trip_count(stmt)
+        counts = {}
+        for expr in stmt.expressions():
+            for op, n in expr.operation_count().items():
+                counts[op] = counts.get(op, 0) + n
+        for op, n in operation_histogram(stmt.body).items():
+            counts[op] = counts.get(op, 0) + n * trip
+        return counts
+    if isinstance(stmt, While):
+        counts = {
+            op: n * (stmt.max_trip_count + 1)
+            for op, n in stmt.cond.operation_count().items()
+        }
+        for op, n in operation_histogram(stmt.body).items():
+            counts[op] = counts.get(op, 0) + n * stmt.max_trip_count
+        return counts
+    raise TypeError(f"unsupported statement {type(stmt).__name__}")

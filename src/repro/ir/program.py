@@ -1,0 +1,152 @@
+"""Top-level IR containers: variable declarations, functions, programs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.statements import Block, Stmt
+from repro.ir.types import ArrayType, IRType, is_array
+
+
+class Storage(enum.Enum):
+    """Where a variable lives on the target platform.
+
+    The scratchpad-allocation transformation moves arrays from ``SHARED`` to
+    ``SCRATCHPAD``; the WCET memory model charges different access latencies
+    per storage class, and the system-level analysis only counts ``SHARED``
+    accesses as interference-prone.
+    """
+
+    LOCAL = "local"          # scalar register / stack data, private to a core
+    SCRATCHPAD = "scratchpad"  # core-private scratchpad memory
+    SHARED = "shared"        # shared on-chip or external memory
+    INPUT = "input"          # function input (read-only shared buffer)
+    OUTPUT = "output"        # function output (write shared buffer)
+
+
+@dataclass
+class VarDecl:
+    """A declared variable with its type and storage class."""
+
+    name: str
+    type: IRType
+    storage: Storage = Storage.LOCAL
+    #: Optional initial value (scalar) used by the interpreter.
+    initial: float | int | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return is_array(self.type)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.type.size_bytes
+
+    def __str__(self) -> str:
+        return f"{self.storage.value} {self.type} {self.name}"
+
+
+@dataclass
+class Function:
+    """A single-entry, single-exit IR function.
+
+    ``params`` are treated as inputs, ``decls`` as local/shared state, and the
+    body is a structured statement block.
+    """
+
+    name: str
+    params: list[VarDecl] = field(default_factory=list)
+    decls: list[VarDecl] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+    #: Free-form annotations carried through the flow (e.g. originating block).
+    annotations: dict[str, object] = field(default_factory=dict)
+
+    def all_decls(self) -> list[VarDecl]:
+        return list(self.params) + list(self.decls)
+
+    def lookup(self, name: str) -> VarDecl | None:
+        for decl in self.all_decls():
+            if decl.name == name:
+                return decl
+        return None
+
+    def declare(self, decl: VarDecl) -> VarDecl:
+        existing = self.lookup(decl.name)
+        if existing is not None:
+            if existing.type != decl.type:
+                raise ValueError(
+                    f"conflicting declaration for {decl.name!r}: "
+                    f"{existing.type} vs {decl.type}"
+                )
+            return existing
+        self.decls.append(decl)
+        return decl
+
+    def arrays(self) -> list[VarDecl]:
+        return [d for d in self.all_decls() if d.is_array]
+
+    def statements(self):
+        """Iterate over every statement in the body (pre-order)."""
+        return self.body.walk()
+
+    def validate(self) -> None:
+        """Check that every referenced variable is declared.
+
+        Raises ``ValueError`` listing the undeclared names otherwise.  The
+        loop index variables of ``for`` statements are declared implicitly.
+        """
+        declared = {d.name for d in self.all_decls()}
+        from repro.ir.statements import For
+
+        for stmt in self.body.walk():
+            if isinstance(stmt, For):
+                declared.add(stmt.index.name)
+        missing: set[str] = set()
+        for stmt in self.body.walk():
+            missing |= stmt.variables_read() - declared
+            missing |= stmt.variables_written() - declared
+        if missing:
+            raise ValueError(
+                f"function {self.name!r} references undeclared variables: "
+                f"{sorted(missing)}"
+            )
+
+
+@dataclass
+class Program:
+    """A collection of functions plus program-wide shared declarations."""
+
+    name: str
+    functions: list[Function] = field(default_factory=list)
+
+    def add(self, function: Function) -> Function:
+        if any(f.name == function.name for f in self.functions):
+            raise ValueError(f"duplicate function name {function.name!r}")
+        self.functions.append(function)
+        return function
+
+    def lookup(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"no function named {name!r} in program {self.name!r}")
+
+    @property
+    def entry(self) -> Function:
+        """The entry function: ``main`` if present, otherwise the first one."""
+        for function in self.functions:
+            if function.name == "main":
+                return function
+        if not self.functions:
+            raise ValueError(f"program {self.name!r} has no functions")
+        return self.functions[0]
+
+    def total_shared_bytes(self) -> int:
+        """Total footprint of shared arrays across all functions."""
+        total = 0
+        for function in self.functions:
+            for decl in function.all_decls():
+                if decl.storage in (Storage.SHARED, Storage.INPUT, Storage.OUTPUT):
+                    total += decl.size_bytes
+        return total

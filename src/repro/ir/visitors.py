@@ -1,0 +1,137 @@
+"""Generic statement/expression rewriting infrastructure.
+
+Transformation passes (:mod:`repro.transforms`) subclass
+:class:`StatementTransformer` and override the hooks for the node kinds they
+care about; everything else is rebuilt structurally.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.ir.expressions import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
+from repro.ir.statements import (
+    Assign,
+    Block,
+    ExprStmt,
+    For,
+    If,
+    Return,
+    Stmt,
+    While,
+)
+
+
+def map_expression(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Bottom-up rewrite of an expression tree: children first, then ``fn``."""
+    if isinstance(expr, (Const, Var)):
+        return fn(expr)
+    if isinstance(expr, BinOp):
+        return fn(BinOp(expr.op, map_expression(expr.left, fn), map_expression(expr.right, fn)))
+    if isinstance(expr, UnOp):
+        return fn(UnOp(expr.op, map_expression(expr.operand, fn)))
+    if isinstance(expr, ArrayRef):
+        return fn(
+            ArrayRef(
+                expr.array,
+                tuple(map_expression(i, fn) for i in expr.indices),
+                expr.element_type,
+            )
+        )
+    if isinstance(expr, Call):
+        return fn(Call(expr.func, tuple(map_expression(a, fn) for a in expr.args), expr.type))
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+class StatementTransformer:
+    """Rebuilds a statement tree, letting subclasses rewrite selected nodes.
+
+    Each ``visit_*`` method receives a freshly rebuilt node (children already
+    transformed) and returns either a statement or a list of statements (to
+    splice multiple statements in place of one, e.g. loop fission).
+    """
+
+    # expression hook ---------------------------------------------------- #
+    def visit_expr(self, expr: Expr) -> Expr:
+        return expr
+
+    def _rewrite_expr(self, expr: Expr) -> Expr:
+        return map_expression(expr, self.visit_expr)
+
+    # statement hooks ---------------------------------------------------- #
+    def visit_assign(self, stmt: Assign) -> Stmt | list[Stmt]:
+        return stmt
+
+    def visit_if(self, stmt: If) -> Stmt | list[Stmt]:
+        return stmt
+
+    def visit_for(self, stmt: For) -> Stmt | list[Stmt]:
+        return stmt
+
+    def visit_while(self, stmt: While) -> Stmt | list[Stmt]:
+        return stmt
+
+    def visit_return(self, stmt: Return) -> Stmt | list[Stmt]:
+        return stmt
+
+    def visit_expr_stmt(self, stmt: ExprStmt) -> Stmt | list[Stmt]:
+        return stmt
+
+    # driver -------------------------------------------------------------- #
+    def transform_block(self, block: Block) -> Block:
+        new_block = Block()
+        for stmt in block.stmts:
+            result = self.transform_statement(stmt)
+            if isinstance(result, list):
+                new_block.stmts.extend(result)
+            else:
+                new_block.stmts.append(result)
+        return new_block
+
+    def transform_statement(self, stmt: Stmt) -> Stmt | list[Stmt]:
+        if isinstance(stmt, Assign):
+            target = stmt.target
+            if isinstance(target, ArrayRef):
+                target = self._rewrite_expr(target)  # type: ignore[assignment]
+            rebuilt = Assign(target, self._rewrite_expr(stmt.value))
+            return self.visit_assign(rebuilt)
+        if isinstance(stmt, Block):
+            return self.transform_block(stmt)
+        if isinstance(stmt, If):
+            rebuilt = If(
+                self._rewrite_expr(stmt.cond),
+                self.transform_block(stmt.then_body),
+                self.transform_block(stmt.else_body),
+            )
+            return self.visit_if(rebuilt)
+        if isinstance(stmt, For):
+            rebuilt = For(
+                index=stmt.index,
+                lower=self._rewrite_expr(stmt.lower),
+                upper=self._rewrite_expr(stmt.upper),
+                body=self.transform_block(stmt.body),
+                step=stmt.step,
+                max_trip_count=stmt.max_trip_count,
+                parallelizable=stmt.parallelizable,
+            )
+            return self.visit_for(rebuilt)
+        if isinstance(stmt, While):
+            rebuilt = While(
+                cond=self._rewrite_expr(stmt.cond),
+                body=self.transform_block(stmt.body),
+                max_trip_count=stmt.max_trip_count,
+            )
+            return self.visit_while(rebuilt)
+        if isinstance(stmt, Return):
+            rebuilt = Return(self._rewrite_expr(stmt.value) if stmt.value is not None else None)
+            return self.visit_return(rebuilt)
+        if isinstance(stmt, ExprStmt):
+            rebuilt = ExprStmt(self._rewrite_expr(stmt.expr))
+            return self.visit_expr_stmt(rebuilt)
+        raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def clone_block(block: Block) -> Block:
+    """Deep copy of a statement block (fresh statement identities)."""
+    return copy.deepcopy(block)

@@ -1,0 +1,20 @@
+"""Xcos-like dataflow modelling framework (paper Section II-A).
+
+End users describe applications as dataflow diagrams whose blocks carry
+mini-Scilab behaviour scripts.  The same script drives both the model-level
+simulation (:meth:`Diagram.simulate`) and the compilation to the C-subset IR
+(:mod:`repro.frontend`).
+"""
+
+from repro.model.blocks import Block, Port
+from repro.model.diagram import Connection, Diagram, DiagramValidationError
+from repro.model import library
+
+__all__ = [
+    "Block",
+    "Port",
+    "Connection",
+    "Diagram",
+    "DiagramValidationError",
+    "library",
+]

@@ -1,0 +1,39 @@
+"""Mini-Scilab: the behaviour language of ARGO dataflow blocks.
+
+The real ARGO flow describes the behaviour of every Xcos block in the Scilab
+language (paper Section II-A: "the behavior of all Xcos components used in
+ARGO is also described in the Scilab language").  This package implements a
+self-contained subset of Scilab sufficient for signal-processing block
+behaviours:
+
+* scalar and array expressions, 1-based indexing, ``a(i, j)`` element access;
+* assignments, ``if/then/else/end``, ``for i = a:b`` and ``for i = a:s:b``;
+* the usual math builtins (``sin``, ``cos``, ``sqrt``, ``abs``, ``min``,
+  ``max``, ...);
+* vector literals ``[1 2 3]`` for block parameters.
+
+Two back ends consume the same parsed script:
+
+* :class:`repro.model.scilab.interpreter.ScilabInterpreter` executes it
+  directly (model-level simulation, Section III-A "validation of the system
+  behavior thanks to the use of specialized simulation tools");
+* :mod:`repro.frontend.lowering` compiles it to the C-subset IR
+  (Section II-B), so the simulated model and the generated code agree by
+  construction -- a property the test suite checks.
+"""
+
+from repro.model.scilab.lexer import tokenize, Token, TokenKind, ScilabSyntaxError
+from repro.model.scilab.parser import parse_script
+from repro.model.scilab.interpreter import ScilabInterpreter, ScilabRuntimeError
+from repro.model.scilab import ast
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "ScilabSyntaxError",
+    "parse_script",
+    "ScilabInterpreter",
+    "ScilabRuntimeError",
+    "ast",
+]

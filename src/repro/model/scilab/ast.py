@@ -1,0 +1,199 @@
+"""Abstract syntax tree of the mini-Scilab behaviour language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class Node:
+    """Base class of all Scilab AST nodes."""
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+class Expression(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Number(Expression):
+    value: float
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Identifier(Expression):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Either a builtin call ``sin(x)`` or an array access ``a(i, j)``.
+
+    Scilab syntax is ambiguous between the two; resolution happens in the
+    consumers (interpreter / IR lowering) based on what ``name`` is bound to.
+    """
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class VectorLiteral(Expression):
+    """A row-vector literal ``[1 2 3]`` (used for block parameters)."""
+
+    elements: tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return "[" + " ".join(str(e) for e in self.elements) + "]"
+
+
+@dataclass(frozen=True)
+class RangeExpr(Expression):
+    """A range ``start:stop`` or ``start:step:stop`` (for loop headers)."""
+
+    start: Expression
+    stop: Expression
+    step: Expression | None = None
+
+    def __str__(self) -> str:
+        if self.step is None:
+            return f"{self.start}:{self.stop}"
+        return f"{self.start}:{self.step}:{self.stop}"
+
+
+# --------------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------------- #
+class Statement(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Assignment(Statement):
+    """``target = value`` or ``target(i, j) = value``."""
+
+    target: str
+    indices: tuple[Expression, ...]
+    value: Expression
+
+    @property
+    def is_indexed(self) -> bool:
+        return bool(self.indices)
+
+    def __str__(self) -> str:
+        if self.indices:
+            idx = ", ".join(str(i) for i in self.indices)
+            return f"{self.target}({idx}) = {self.value}"
+        return f"{self.target} = {self.value}"
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    condition: Expression
+    then_body: tuple[Statement, ...]
+    else_body: tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class ForLoop(Statement):
+    """``for var = range ... end``."""
+
+    var: str
+    range: RangeExpr
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class Script(Node):
+    """A whole behaviour script: a flat sequence of statements."""
+
+    statements: tuple[Statement, ...] = ()
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+def walk_statements(statements: Sequence[Statement]):
+    """Pre-order traversal over nested statements."""
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, IfStatement):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, ForLoop):
+            yield from walk_statements(stmt.body)
+
+
+def assigned_names(script: Script) -> set[str]:
+    """Names assigned anywhere in the script (outputs and temporaries)."""
+    return {s.target for s in walk_statements(script.statements) if isinstance(s, Assignment)}
+
+
+def read_names(script: Script) -> set[str]:
+    """Names read anywhere in the script (before resolving builtins)."""
+    names: set[str] = set()
+
+    def visit_expr(expr: Expression) -> None:
+        if isinstance(expr, Identifier):
+            names.add(expr.name)
+        elif isinstance(expr, BinaryOp):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, UnaryOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, FunctionCall):
+            names.add(expr.name)
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, VectorLiteral):
+            for element in expr.elements:
+                visit_expr(element)
+        elif isinstance(expr, RangeExpr):
+            visit_expr(expr.start)
+            visit_expr(expr.stop)
+            if expr.step is not None:
+                visit_expr(expr.step)
+
+    for stmt in walk_statements(script.statements):
+        if isinstance(stmt, Assignment):
+            for idx in stmt.indices:
+                visit_expr(idx)
+            visit_expr(stmt.value)
+        elif isinstance(stmt, IfStatement):
+            visit_expr(stmt.condition)
+        elif isinstance(stmt, ForLoop):
+            visit_expr(stmt.range)
+    return names

@@ -1,0 +1,226 @@
+"""Direct interpreter for mini-Scilab scripts.
+
+Executes a behaviour script over numpy-backed values.  Arrays use Scilab's
+1-based indexing.  The interpreter is the reference semantics for block
+behaviours; the IR lowering in :mod:`repro.frontend.lowering` is tested to
+produce code whose execution matches it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.model.scilab import ast
+
+
+class ScilabRuntimeError(RuntimeError):
+    """Raised when a script performs an illegal operation at run time."""
+
+
+_BUILTINS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "atan": math.atan,
+    "atan2": math.atan2,
+    "hypot": math.hypot,
+    "pow": math.pow,
+    "min": min,
+    "max": max,
+}
+
+
+class ScilabInterpreter:
+    """Evaluates mini-Scilab scripts over a variable environment."""
+
+    def __init__(self, max_loop_iterations: int = 1_000_000) -> None:
+        self.max_loop_iterations = max_loop_iterations
+
+    # ------------------------------------------------------------------ #
+    def run(self, script: ast.Script, env: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Execute ``script`` starting from ``env`` and return the final env.
+
+        Array inputs are copied so callers' values are never mutated.
+        """
+        environment: dict[str, Any] = {}
+        for name, value in (env or {}).items():
+            if isinstance(value, np.ndarray):
+                environment[name] = np.array(value, dtype=float, copy=True)
+            elif isinstance(value, (list, tuple)):
+                environment[name] = np.array(value, dtype=float)
+            else:
+                environment[name] = float(value)
+        self._exec_statements(script.statements, environment)
+        return environment
+
+    # ------------------------------------------------------------------ #
+    def _exec_statements(self, statements, env: dict[str, Any]) -> None:
+        for stmt in statements:
+            self._exec_statement(stmt, env)
+
+    def _exec_statement(self, stmt: ast.Statement, env: dict[str, Any]) -> None:
+        if isinstance(stmt, ast.Assignment):
+            value = self._eval(stmt.value, env)
+            if stmt.is_indexed:
+                self._store_indexed(stmt, value, env)
+            else:
+                if isinstance(value, np.ndarray):
+                    env[stmt.target] = np.array(value, dtype=float, copy=True)
+                else:
+                    env[stmt.target] = float(value)
+            return
+        if isinstance(stmt, ast.IfStatement):
+            if self._eval(stmt.condition, env):
+                self._exec_statements(stmt.then_body, env)
+            else:
+                self._exec_statements(stmt.else_body, env)
+            return
+        if isinstance(stmt, ast.ForLoop):
+            start = float(self._eval(stmt.range.start, env))
+            stop = float(self._eval(stmt.range.stop, env))
+            step = float(self._eval(stmt.range.step, env)) if stmt.range.step is not None else 1.0
+            if step == 0:
+                raise ScilabRuntimeError("for-loop step cannot be zero")
+            count = 0
+            value = start
+            while (value <= stop + 1e-12) if step > 0 else (value >= stop - 1e-12):
+                env[stmt.var] = value
+                self._exec_statements(stmt.body, env)
+                value += step
+                count += 1
+                if count > self.max_loop_iterations:
+                    raise ScilabRuntimeError("for-loop iteration limit exceeded")
+            return
+        raise ScilabRuntimeError(f"unsupported statement {type(stmt).__name__}")
+
+    def _store_indexed(self, stmt: ast.Assignment, value: Any, env: dict[str, Any]) -> None:
+        if stmt.target not in env:
+            raise ScilabRuntimeError(
+                f"indexed assignment to undeclared array {stmt.target!r}; "
+                "block outputs must be pre-allocated"
+            )
+        array = env[stmt.target]
+        if not isinstance(array, np.ndarray):
+            raise ScilabRuntimeError(f"{stmt.target!r} is not an array")
+        indices = tuple(int(round(float(self._eval(i, env)))) - 1 for i in stmt.indices)
+        if any(i < 0 for i in indices):
+            raise ScilabRuntimeError(
+                f"index {tuple(i + 1 for i in indices)} out of bounds for {stmt.target!r}"
+            )
+        try:
+            if array.ndim == 1 and len(indices) == 1:
+                array[indices[0]] = float(value)
+            else:
+                array[indices] = float(value)
+        except IndexError as exc:
+            raise ScilabRuntimeError(
+                f"index {tuple(i + 1 for i in indices)} out of bounds for "
+                f"{stmt.target!r} with shape {array.shape}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: ast.Expression, env: dict[str, Any]) -> Any:
+        if isinstance(expr, ast.Number):
+            return expr.value
+        if isinstance(expr, ast.Identifier):
+            if expr.name == "pi":
+                return math.pi
+            if expr.name not in env:
+                raise ScilabRuntimeError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, ast.BinaryOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            return self._apply_binop(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            value = self._eval(expr.operand, env)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return not bool(value)
+            raise ScilabRuntimeError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.FunctionCall):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.VectorLiteral):
+            return np.array([float(self._eval(e, env)) for e in expr.elements])
+        if isinstance(expr, ast.RangeExpr):
+            start = float(self._eval(expr.start, env))
+            stop = float(self._eval(expr.stop, env))
+            step = float(self._eval(expr.step, env)) if expr.step is not None else 1.0
+            return np.arange(start, stop + step / 2.0, step)
+        raise ScilabRuntimeError(f"unsupported expression {type(expr).__name__}")
+
+    def _eval_call(self, expr: ast.FunctionCall, env: dict[str, Any]) -> Any:
+        # Array access takes priority: a(i) where a is a bound array.
+        if expr.name in env and isinstance(env[expr.name], np.ndarray):
+            array = env[expr.name]
+            indices = tuple(int(round(float(self._eval(a, env)))) - 1 for a in expr.args)
+            if any(i < 0 for i in indices):
+                raise ScilabRuntimeError(
+                    f"index {tuple(i + 1 for i in indices)} out of bounds for {expr.name!r}"
+                )
+            try:
+                if array.ndim == 1 and len(indices) == 1:
+                    return float(array[indices[0]])
+                return float(array[indices])
+            except IndexError as exc:
+                raise ScilabRuntimeError(
+                    f"index {tuple(i + 1 for i in indices)} out of bounds for "
+                    f"{expr.name!r} with shape {array.shape}"
+                ) from exc
+        if expr.name in _BUILTINS:
+            args = [self._eval(a, env) for a in expr.args]
+            try:
+                return float(_BUILTINS[expr.name](*args))
+            except (ValueError, TypeError, ZeroDivisionError) as exc:
+                raise ScilabRuntimeError(f"error in builtin {expr.name!r}: {exc}") from exc
+        if expr.name == "zeros":
+            shape = tuple(int(round(float(self._eval(a, env)))) for a in expr.args)
+            if len(shape) == 1:
+                shape = (shape[0],)
+            return np.zeros(shape)
+        if expr.name == "ones":
+            shape = tuple(int(round(float(self._eval(a, env)))) for a in expr.args)
+            return np.ones(shape)
+        raise ScilabRuntimeError(f"unknown function or array {expr.name!r}")
+
+    @staticmethod
+    def _apply_binop(op: str, left: Any, right: Any) -> Any:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if np.isscalar(right) and float(right) == 0.0:
+                raise ScilabRuntimeError("division by zero")
+            return left / right
+        if op == "^":
+            return left ** right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "&&":
+            return bool(left) and bool(right)
+        if op == "||":
+            return bool(left) or bool(right)
+        raise ScilabRuntimeError(f"unknown operator {op!r}")

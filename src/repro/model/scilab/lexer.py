@@ -1,0 +1,136 @@
+"""Tokenizer for the mini-Scilab behaviour language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScilabSyntaxError(SyntaxError):
+    """Raised on lexical or syntactic errors in a Scilab script."""
+
+
+class TokenKind(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    NEWLINE = "newline"
+    COLON = ":"
+    ASSIGN = "="
+    EOF = "eof"
+
+
+KEYWORDS = {"if", "then", "else", "elseif", "end", "for", "while", "function", "endfunction"}
+
+#: Multi-character operators first so the scanner is greedy.
+OPERATORS = ["<=", ">=", "==", "~=", "&&", "||", "+", "-", "*", "/", "^", "<", ">", "&", "|", "~", ".*", "./"]
+OPERATORS.sort(key=len, reverse=True)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a flat token list terminated by EOF."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            tokens.append(Token(TokenKind.NEWLINE, "\n", line))
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "%" or (ch == "/" and i + 1 < n and source[i + 1] == "*"):
+            # Scilab comments also start with // ; we additionally accept
+            # % line comments for convenience.
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            if i < n and source[i] in "eE":
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            tokens.append(Token(TokenKind.NUMBER, source[start:i], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, ch, line))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ch, line))
+            i += 1
+            continue
+        if ch == "[":
+            tokens.append(Token(TokenKind.LBRACKET, ch, line))
+            i += 1
+            continue
+        if ch == "]":
+            tokens.append(Token(TokenKind.RBRACKET, ch, line))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ch, line))
+            i += 1
+            continue
+        if ch == ";":
+            tokens.append(Token(TokenKind.SEMICOLON, ch, line))
+            i += 1
+            continue
+        if ch == ":":
+            tokens.append(Token(TokenKind.COLON, ch, line))
+            i += 1
+            continue
+        if ch == "=" and not (i + 1 < n and source[i + 1] == "="):
+            tokens.append(Token(TokenKind.ASSIGN, ch, line))
+            i += 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        raise ScilabSyntaxError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token(TokenKind.EOF, "", line))
+    return tokens

@@ -1,0 +1,236 @@
+"""Recursive-descent parser for the mini-Scilab behaviour language."""
+
+from __future__ import annotations
+
+from repro.model.scilab import ast
+from repro.model.scilab.lexer import ScilabSyntaxError, Token, TokenKind, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "|": 1,
+    "&&": 2,
+    "&": 2,
+    "==": 3,
+    "~=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    ".*": 5,
+    "./": 5,
+    "^": 6,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            token = self.peek()
+            expected = text or kind.value
+            raise ScilabSyntaxError(
+                f"expected {expected!r} but found {token.text!r} at line {token.line}"
+            )
+        return self.advance()
+
+    def skip_separators(self) -> None:
+        while self.peek().kind in (TokenKind.NEWLINE, TokenKind.SEMICOLON):
+            self.advance()
+
+    # ------------------------------------------------------------------ #
+    # grammar
+    # ------------------------------------------------------------------ #
+    def parse_script(self) -> ast.Script:
+        statements = self.parse_statements(terminators=())
+        self.expect(TokenKind.EOF)
+        return ast.Script(tuple(statements))
+
+    def parse_statements(self, terminators: tuple[str, ...]) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while True:
+            self.skip_separators()
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                break
+            if token.kind is TokenKind.KEYWORD and token.text in terminators:
+                break
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.kind is TokenKind.KEYWORD and token.text == "if":
+            return self.parse_if()
+        if token.kind is TokenKind.KEYWORD and token.text == "for":
+            return self.parse_for()
+        if token.kind is TokenKind.IDENT:
+            return self.parse_assignment()
+        raise ScilabSyntaxError(
+            f"unexpected token {token.text!r} at line {token.line}"
+        )
+
+    def parse_assignment(self) -> ast.Assignment:
+        name = self.expect(TokenKind.IDENT).text
+        indices: tuple[ast.Expression, ...] = ()
+        if self.check(TokenKind.LPAREN):
+            self.advance()
+            args = [self.parse_expression()]
+            while self.check(TokenKind.COMMA):
+                self.advance()
+                args.append(self.parse_expression())
+            self.expect(TokenKind.RPAREN)
+            indices = tuple(args)
+        self.expect(TokenKind.ASSIGN)
+        value = self.parse_expression()
+        return ast.Assignment(name, indices, value)
+
+    def parse_if(self) -> ast.IfStatement:
+        self.expect(TokenKind.KEYWORD, "if")
+        condition = self.parse_expression()
+        if self.check(TokenKind.KEYWORD, "then"):
+            self.advance()
+        then_body = self.parse_statements(terminators=("else", "elseif", "end"))
+        else_body: list[ast.Statement] = []
+        if self.check(TokenKind.KEYWORD, "elseif"):
+            # Desugar "elseif" into a nested if inside the else branch.
+            nested = self.parse_elseif()
+            else_body = [nested]
+            return ast.IfStatement(condition, tuple(then_body), tuple(else_body))
+        if self.check(TokenKind.KEYWORD, "else"):
+            self.advance()
+            else_body = self.parse_statements(terminators=("end",))
+        self.expect(TokenKind.KEYWORD, "end")
+        return ast.IfStatement(condition, tuple(then_body), tuple(else_body))
+
+    def parse_elseif(self) -> ast.IfStatement:
+        self.expect(TokenKind.KEYWORD, "elseif")
+        condition = self.parse_expression()
+        if self.check(TokenKind.KEYWORD, "then"):
+            self.advance()
+        then_body = self.parse_statements(terminators=("else", "elseif", "end"))
+        else_body: list[ast.Statement] = []
+        if self.check(TokenKind.KEYWORD, "elseif"):
+            else_body = [self.parse_elseif()]
+            return ast.IfStatement(condition, tuple(then_body), tuple(else_body))
+        if self.check(TokenKind.KEYWORD, "else"):
+            self.advance()
+            else_body = self.parse_statements(terminators=("end",))
+        self.expect(TokenKind.KEYWORD, "end")
+        return ast.IfStatement(condition, tuple(then_body), tuple(else_body))
+
+    def parse_for(self) -> ast.ForLoop:
+        self.expect(TokenKind.KEYWORD, "for")
+        var = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.ASSIGN)
+        range_expr = self.parse_range()
+        body = self.parse_statements(terminators=("end",))
+        self.expect(TokenKind.KEYWORD, "end")
+        return ast.ForLoop(var, range_expr, tuple(body))
+
+    def parse_range(self) -> ast.RangeExpr:
+        first = self.parse_expression(stop_at_colon=True)
+        self.expect(TokenKind.COLON)
+        second = self.parse_expression(stop_at_colon=True)
+        if self.check(TokenKind.COLON):
+            self.advance()
+            third = self.parse_expression(stop_at_colon=True)
+            return ast.RangeExpr(start=first, stop=third, step=second)
+        return ast.RangeExpr(start=first, stop=second)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def parse_expression(self, min_prec: int = 1, stop_at_colon: bool = False) -> ast.Expression:
+        left = self.parse_unary(stop_at_colon)
+        while True:
+            token = self.peek()
+            if token.kind is not TokenKind.OP or token.text not in _PRECEDENCE:
+                break
+            prec = _PRECEDENCE[token.text]
+            if prec < min_prec:
+                break
+            op = self.advance().text
+            right = self.parse_expression(prec + 1, stop_at_colon)
+            # Elementwise Scilab operators map to their scalar counterparts in
+            # this subset (block behaviours index arrays explicitly).
+            op = {".*": "*", "./": "/", "~=": "!=", "&": "&&", "|": "||"}.get(op, op)
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def parse_unary(self, stop_at_colon: bool) -> ast.Expression:
+        token = self.peek()
+        if token.kind is TokenKind.OP and token.text in ("-", "+", "~"):
+            self.advance()
+            operand = self.parse_unary(stop_at_colon)
+            if token.text == "+":
+                return operand
+            op = "!" if token.text == "~" else "-"
+            return ast.UnaryOp(op, operand)
+        return self.parse_primary(stop_at_colon)
+
+    def parse_primary(self, stop_at_colon: bool) -> ast.Expression:
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.Number(float(token.text))
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.check(TokenKind.LPAREN):
+                self.advance()
+                args: list[ast.Expression] = []
+                if not self.check(TokenKind.RPAREN):
+                    args.append(self.parse_expression())
+                    while self.check(TokenKind.COMMA):
+                        self.advance()
+                        args.append(self.parse_expression())
+                self.expect(TokenKind.RPAREN)
+                return ast.FunctionCall(token.text, tuple(args))
+            return ast.Identifier(token.text)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self.parse_expression()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.LBRACKET:
+            self.advance()
+            elements: list[ast.Expression] = []
+            while not self.check(TokenKind.RBRACKET):
+                if self.check(TokenKind.COMMA) or self.check(TokenKind.SEMICOLON):
+                    self.advance()
+                    continue
+                elements.append(self.parse_expression())
+            self.expect(TokenKind.RBRACKET)
+            return ast.VectorLiteral(tuple(elements))
+        raise ScilabSyntaxError(
+            f"unexpected token {token.text!r} in expression at line {token.line}"
+        )
+
+
+def parse_script(source: str) -> ast.Script:
+    """Parse a mini-Scilab behaviour script into its AST."""
+    return _Parser(tokenize(source)).parse_script()

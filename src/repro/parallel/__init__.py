@@ -1,0 +1,25 @@
+"""Explicit parallel program model (paper Section II-C).
+
+The scheduling result is turned into an explicitly parallel program: one task
+sequence per core, explicit signal/wait synchronisation on dependence edges
+that cross cores, communication buffers with a concrete shared-memory address
+map, and a C-like rendering of the per-core programs.
+"""
+
+from repro.parallel.model import (
+    CommBuffer,
+    CoreProgram,
+    ParallelProgram,
+    SyncOp,
+    build_parallel_program,
+)
+from repro.parallel.codegen import parallel_program_to_c
+
+__all__ = [
+    "CommBuffer",
+    "CoreProgram",
+    "ParallelProgram",
+    "SyncOp",
+    "build_parallel_program",
+    "parallel_program_to_c",
+]

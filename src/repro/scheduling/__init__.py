@@ -1,0 +1,40 @@
+"""WCET-aware scheduling and mapping of HTG tasks onto the platform.
+
+The paper (Sections II-B, III-C) frames this as a combinatorial optimisation
+problem to be attacked with "a combination of exact techniques and advanced
+heuristics"; this package provides:
+
+* :class:`~repro.scheduling.list_scheduler.WcetAwareListScheduler` -- the
+  production heuristic: contention- and communication-aware list scheduling
+  driven by upward ranks computed from WCETs;
+* :func:`~repro.scheduling.bnb.branch_and_bound_schedule` -- an exact
+  branch-and-bound mapper for small task graphs;
+* :mod:`~repro.scheduling.metaheuristics` -- simulated annealing and a genetic
+  algorithm for larger graphs;
+* :mod:`~repro.scheduling.baselines` -- the comparison points used by the
+  experiments (sequential, average-case-driven, contention-free).
+"""
+
+from repro.scheduling.schedule import Schedule, ScheduleError, default_core_order, evaluate_mapping
+from repro.scheduling.list_scheduler import WcetAwareListScheduler
+from repro.scheduling.bnb import branch_and_bound_schedule
+from repro.scheduling.metaheuristics import simulated_annealing_schedule, genetic_schedule
+from repro.scheduling.baselines import (
+    sequential_schedule,
+    acet_driven_schedule,
+    contention_free_schedule,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduleError",
+    "default_core_order",
+    "evaluate_mapping",
+    "WcetAwareListScheduler",
+    "branch_and_bound_schedule",
+    "simulated_annealing_schedule",
+    "genetic_schedule",
+    "sequential_schedule",
+    "acet_driven_schedule",
+    "contention_free_schedule",
+]

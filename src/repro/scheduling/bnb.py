@@ -1,0 +1,105 @@
+"""Exact branch-and-bound mapping for small task graphs.
+
+Explores task-to-core assignments in topological task order, pruning with a
+critical-path/workload lower bound, and evaluates complete assignments with
+the full system-level WCET analysis.  Only practical for small HTGs (the
+paper notes the problem is NP-hard and motivates the exact+heuristic mix of
+experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adl.architecture import Platform
+from repro.htg.graph import HierarchicalTaskGraph
+from repro.ir.program import Function
+from repro.scheduling.schedule import Schedule, evaluate_mapping
+from repro.wcet.code_level import analyze_task_wcet
+from repro.wcet.hardware_model import HardwareCostModel
+
+
+@dataclass
+class BnBStats:
+    """Search statistics reported alongside the optimal schedule."""
+
+    nodes_explored: int = 0
+    leaves_evaluated: int = 0
+    pruned: int = 0
+
+
+def branch_and_bound_schedule(
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    max_cores: int | None = None,
+    max_tasks: int = 14,
+) -> tuple[Schedule, BnBStats]:
+    """Find the mapping with the smallest system-level WCET bound.
+
+    Raises ``ValueError`` when the HTG has more than ``max_tasks`` leaf tasks
+    (the search is exponential in the task count).
+    """
+    leaf_tasks = [t for t in htg.topological_tasks() if not t.is_synthetic]
+    if len(leaf_tasks) > max_tasks:
+        raise ValueError(
+            f"branch and bound limited to {max_tasks} tasks, HTG has {len(leaf_tasks)}"
+        )
+    core_ids = [c.core_id for c in platform.cores]
+    if max_cores is not None:
+        core_ids = core_ids[:max_cores]
+
+    model = HardwareCostModel(platform, core_ids[0])
+    wcets = {
+        t.task_id: analyze_task_wcet(t, function, model).total for t in leaf_tasks
+    }
+    total_work = sum(wcets.values())
+
+    stats = BnBStats()
+    best_schedule: Schedule | None = None
+    best_bound = float("inf")
+    order = [t.task_id for t in leaf_tasks]
+
+    def lower_bound(mapping: dict[str, int], next_index: int) -> float:
+        """Simple admissible bound: balanced remaining work over all cores."""
+        per_core: dict[int, float] = {c: 0.0 for c in core_ids}
+        for tid, core in mapping.items():
+            per_core[core] += wcets[tid]
+        assigned = sum(per_core.values())
+        remaining = total_work - assigned
+        # Even with perfect balance, the busiest core does at least this much.
+        return max(max(per_core.values(), default=0.0), (assigned + remaining) / len(core_ids))
+
+    def recurse(index: int, mapping: dict[str, int]) -> None:
+        nonlocal best_schedule, best_bound
+        stats.nodes_explored += 1
+        if index == len(order):
+            stats.leaves_evaluated += 1
+            schedule = evaluate_mapping(htg, function, platform, mapping, scheduler="bnb")
+            if schedule.wcet_bound < best_bound:
+                best_bound = schedule.wcet_bound
+                best_schedule = schedule
+            return
+        if lower_bound(mapping, index) >= best_bound:
+            stats.pruned += 1
+            return
+        tid = order[index]
+        # Symmetry breaking: the first task only considers the first core, and
+        # each task may use at most one "fresh" (so far unused) core.
+        used = sorted(set(mapping.values()))
+        candidates: list[int] = list(used)
+        for core in core_ids:
+            if core not in used:
+                candidates.append(core)
+                break
+        for core in candidates:
+            mapping[tid] = core
+            recurse(index + 1, mapping)
+            del mapping[tid]
+
+    recurse(0, {})
+    if best_schedule is None:  # pragma: no cover - defensive
+        raise RuntimeError("branch and bound failed to produce a schedule")
+    best_schedule.metadata["nodes_explored"] = float(stats.nodes_explored)
+    best_schedule.metadata["pruned"] = float(stats.pruned)
+    return best_schedule, stats

@@ -1,0 +1,175 @@
+"""Contention-aware WCET-driven list scheduling (the main ARGO heuristic).
+
+A HEFT-style list scheduler whose costs are worst-case quantities:
+
+* task priorities are upward ranks computed from task WCETs plus worst-case
+  communication costs;
+* when placing a task on a candidate core, the estimated finish time includes
+  (i) worst-case communication from predecessors mapped to other cores and
+  (ii) an interference estimate: the task's worst-case shared-access count
+  times the interconnect penalty for the number of cores already busy in the
+  candidate window -- this is what makes the scheduler prefer placements that
+  limit the number of simultaneous shared-resource contenders (paper
+  Section II: "the number of shared resource contenders ... is reduced during
+  parallelization to avoid overly pessimistic WCET estimates").
+
+The returned schedule is always re-analysed with the full system-level WCET
+analysis, so the reported bound is sound regardless of estimation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.architecture import Platform
+from repro.htg.graph import HierarchicalTaskGraph
+from repro.ir.program import Function
+from repro.scheduling.schedule import Schedule, evaluate_mapping
+from repro.utils.intervals import Interval
+from repro.wcet.code_level import analyze_task_wcet
+from repro.wcet.hardware_model import HardwareCostModel
+
+
+@dataclass
+class WcetAwareListScheduler:
+    """Configuration of the contention-aware list scheduler."""
+
+    platform: Platform
+    #: Weight of the interference estimate during placement (1.0 = full
+    #: worst-case penalty, 0.0 = contention-oblivious placement).
+    contention_weight: float = 1.0
+    #: Restrict scheduling to the first ``max_cores`` cores (None = all).
+    max_cores: int | None = None
+    #: Use average-case costs instead of WCETs (the E4 baseline flips this).
+    use_average_costs: bool = False
+
+    _models: dict[int, HardwareCostModel] = field(default_factory=dict, init=False)
+
+    def _core_ids(self) -> list[int]:
+        ids = [c.core_id for c in self.platform.cores]
+        if self.max_cores is not None:
+            ids = ids[: self.max_cores]
+        return ids
+
+    def _model(self, core_id: int) -> HardwareCostModel:
+        if core_id not in self._models:
+            self._models[core_id] = HardwareCostModel(self.platform, core_id)
+        return self._models[core_id]
+
+    # ------------------------------------------------------------------ #
+    def _task_cost(self, htg: HierarchicalTaskGraph, function: Function, tid: str, core_id: int) -> float:
+        task = htg.task(tid)
+        breakdown = analyze_task_wcet(task, function, self._model(core_id), average=self.use_average_costs)
+        return breakdown.total
+
+    def _upward_ranks(self, htg: HierarchicalTaskGraph, function: Function, core_ids: list[int]) -> dict[str, float]:
+        """Upward rank: longest path from the task to any sink."""
+        ref_core = core_ids[0]
+        cost = {
+            t.task_id: self._task_cost(htg, function, t.task_id, ref_core)
+            for t in htg.leaf_tasks()
+        }
+        avg_comm = {}
+        for edge in htg.edges:
+            if edge.payload_bytes:
+                avg_comm[(edge.src, edge.dst)] = self.platform.communication_latency(
+                    edge.payload_bytes, 0, min(1, self.platform.num_cores - 1)
+                )
+        ranks: dict[str, float] = {}
+        for task in reversed(htg.topological_tasks()):
+            if task.is_synthetic:
+                continue
+            tid = task.task_id
+            best_succ = 0.0
+            for succ in htg.successors(tid):
+                if succ not in cost:
+                    continue
+                best_succ = max(best_succ, ranks.get(succ, 0.0) + avg_comm.get((tid, succ), 0.0))
+            ranks[tid] = cost[tid] + best_succ
+        return ranks
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, htg: HierarchicalTaskGraph, function: Function) -> Schedule:
+        """Map and order the HTG, returning an analysed schedule."""
+        core_ids = self._core_ids()
+        ranks = self._upward_ranks(htg, function, core_ids)
+        tasks = sorted(htg.leaf_tasks(), key=lambda t: (-ranks[t.task_id], t.task_id))
+
+        mapping: dict[str, int] = {}
+        order: dict[int, list[str]] = {c: [] for c in core_ids}
+        finish: dict[str, float] = {}
+        core_busy: dict[int, list[Interval]] = {c: [] for c in core_ids}
+        core_ready: dict[int, float] = {c: 0.0 for c in core_ids}
+        dependent = htg.dependent_pairs()
+
+        # schedule in priority order but never before all predecessors
+        placed: set[str] = set()
+        ready_pool = list(tasks)
+        while ready_pool:
+            candidate = None
+            for task in ready_pool:
+                preds = htg.predecessors(task.task_id)
+                if all(p in placed or htg.task(p).is_synthetic for p in preds):
+                    candidate = task
+                    break
+            if candidate is None:
+                # fall back to topological order (should not happen on a DAG)
+                candidate = ready_pool[0]
+            ready_pool.remove(candidate)
+            tid = candidate.task_id
+
+            best_core = core_ids[0]
+            best_finish = float("inf")
+            best_start = 0.0
+            for core_id in core_ids:
+                ready_deps = 0.0
+                for pred in htg.predecessors(tid):
+                    if pred not in finish:
+                        continue
+                    delay = 0.0
+                    if mapping.get(pred) != core_id:
+                        edge = htg.edge(pred, tid)
+                        payload = edge.payload_bytes if edge else 0
+                        if payload:
+                            delay = self.platform.communication_latency(
+                                payload, mapping[pred], core_id, max(0, len(core_ids) - 1)
+                            )
+                    ready_deps = max(ready_deps, finish[pred] + delay)
+                start = max(core_ready[core_id], ready_deps)
+                duration = self._task_cost(htg, function, tid, core_id)
+                # interference estimate: cores already busy in the window
+                window = Interval(start, start + max(duration, 1e-9))
+                busy_cores = sum(
+                    1
+                    for other_core, intervals in core_busy.items()
+                    if other_core != core_id
+                    and any(iv.overlaps(window) for iv in intervals)
+                )
+                penalty = 0.0
+                if not self.use_average_costs and candidate.total_shared_accesses:
+                    penalty = (
+                        self.contention_weight
+                        * candidate.total_shared_accesses
+                        * self._model(core_id).shared_access_penalty(busy_cores)
+                    )
+                candidate_finish = start + duration + penalty
+                if candidate_finish < best_finish - 1e-9:
+                    best_finish = candidate_finish
+                    best_core = core_id
+                    best_start = start
+
+            mapping[tid] = best_core
+            order[best_core].append(tid)
+            finish[tid] = best_finish
+            core_ready[best_core] = best_finish
+            core_busy[best_core].append(Interval(best_start, best_finish))
+            placed.add(tid)
+
+        order = {c: tids for c, tids in order.items() if tids}
+        schedule = evaluate_mapping(
+            htg, function, self.platform, mapping, order,
+            scheduler="wcet_list" if not self.use_average_costs else "acet_list",
+        )
+        schedule.metadata["estimated_makespan"] = max(finish.values(), default=0.0)
+        del dependent
+        return schedule

@@ -1,0 +1,128 @@
+"""Schedule representation and mapping evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.architecture import Platform
+from repro.htg.graph import HierarchicalTaskGraph
+from repro.ir.program import Function
+from repro.utils.intervals import Interval, total_busy_time
+from repro.wcet.system_level import SystemWcetResult, system_level_wcet
+
+
+class ScheduleError(ValueError):
+    """Raised for inconsistent schedules."""
+
+
+@dataclass
+class Schedule:
+    """A mapping + per-core ordering of HTG tasks, with its analysed timing.
+
+    ``wcet_bound`` (the makespan of the system-level analysis) is the
+    guaranteed multi-core WCET the ARGO flow reports for this schedule.
+    """
+
+    htg_name: str
+    mapping: dict[str, int]
+    order: dict[int, list[str]]
+    result: SystemWcetResult | None = None
+    scheduler: str = ""
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wcet_bound(self) -> float:
+        if self.result is None:
+            raise ScheduleError("schedule has not been analysed yet")
+        return self.result.makespan
+
+    @property
+    def num_cores_used(self) -> int:
+        return len({core for core in self.mapping.values()})
+
+    def core_of(self, task_id: str) -> int:
+        return self.mapping[task_id]
+
+    def tasks_on(self, core: int) -> list[str]:
+        return list(self.order.get(core, []))
+
+    def utilization(self) -> dict[int, float]:
+        """Busy-time fraction per core (needs an analysed result)."""
+        if self.result is None:
+            raise ScheduleError("schedule has not been analysed yet")
+        makespan = max(self.result.makespan, 1e-9)
+        busy: dict[int, list[Interval]] = {}
+        for tid, interval in self.result.task_intervals.items():
+            busy.setdefault(self.mapping[tid], []).append(interval)
+        return {core: total_busy_time(ivs) / makespan for core, ivs in busy.items()}
+
+    def validate(self, htg: HierarchicalTaskGraph, platform: Platform) -> None:
+        leaf_ids = {t.task_id for t in htg.leaf_tasks()}
+        mapped = set(self.mapping)
+        if mapped != leaf_ids:
+            raise ScheduleError(
+                f"mapping covers {len(mapped)} tasks, HTG has {len(leaf_ids)}"
+            )
+        valid_cores = {c.core_id for c in platform.cores}
+        for tid, core in self.mapping.items():
+            if core not in valid_cores:
+                raise ScheduleError(f"task {tid!r} mapped to unknown core {core}")
+        ordered = [tid for tids in self.order.values() for tid in tids]
+        if sorted(ordered) != sorted(self.mapping):
+            raise ScheduleError("core orders do not cover exactly the mapped tasks")
+        dependent = htg.dependent_pairs()
+        for core, tids in self.order.items():
+            for i, a in enumerate(tids):
+                for b in tids[i + 1:]:
+                    if (b, a) in dependent:
+                        raise ScheduleError(
+                            f"core {core}: order places {a!r} before its dependency {b!r}"
+                        )
+
+    def gantt(self) -> str:
+        """Small text Gantt chart for reports."""
+        if self.result is None:
+            return "(unanalysed schedule)"
+        lines = [f"schedule [{self.scheduler}] WCET bound = {self.wcet_bound:.0f} cycles"]
+        for core in sorted(self.order):
+            entries = sorted(self.order[core], key=lambda t: self.result.task_intervals[t].start)
+            parts = [
+                f"{tid}@{self.result.task_intervals[tid].start:.0f}-{self.result.task_intervals[tid].end:.0f}"
+                for tid in entries
+            ]
+            lines.append(f"  core {core}: " + ", ".join(parts))
+        return "\n".join(lines)
+
+
+def default_core_order(htg: HierarchicalTaskGraph, mapping: dict[str, int]) -> dict[int, list[str]]:
+    """Per-core ordering derived from the HTG topological order.
+
+    Tasks on each core execute in global topological order, which is always
+    dependence-consistent.
+    """
+    order: dict[int, list[str]] = {}
+    for task in htg.topological_tasks():
+        if task.is_synthetic or task.task_id not in mapping:
+            continue
+        order.setdefault(mapping[task.task_id], []).append(task.task_id)
+    return order
+
+
+def evaluate_mapping(
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    mapping: dict[str, int],
+    order: dict[int, list[str]] | None = None,
+    scheduler: str = "",
+) -> Schedule:
+    """Run the system-level WCET analysis on a mapping and wrap it."""
+    order = order or default_core_order(htg, mapping)
+    result = system_level_wcet(htg, function, platform, mapping, order)
+    return Schedule(
+        htg_name=htg.name,
+        mapping=dict(mapping),
+        order={c: list(t) for c, t in order.items()},
+        result=result,
+        scheduler=scheduler,
+    )

@@ -1,0 +1,13 @@
+"""Discrete-event multi-core timing simulator.
+
+The simulator executes an explicit parallel program on the ADL platform model
+with *actual* (input-dependent) operation counts and memory accesses, using
+the same component cost models as the WCET analysis.  It is the stand-in for
+the FPGA prototypes of the real ARGO project and is used to validate that the
+computed WCET bounds are never exceeded (experiment E6) and to measure the
+worst-case-to-observed gap.
+"""
+
+from repro.sim.executor import SimulationResult, simulate_parallel_program
+
+__all__ = ["SimulationResult", "simulate_parallel_program"]

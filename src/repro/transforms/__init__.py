@@ -1,0 +1,42 @@
+"""Predictability-enhancing source-to-source transformations (GeCoS stage).
+
+Paper Section II-B: the IR "is used as input by the GeCoS source-to-source
+transformation framework, which performs several predictability enhancing
+program transformations (scratchpad management for data, predictability
+oriented task parallelism extraction through loop transformations, etc.)".
+
+Provided passes:
+
+* :mod:`repro.transforms.simple` -- constant folding and dead-code
+  elimination (enablers for the loop transformations);
+* :mod:`repro.transforms.loop_transforms` -- loop unrolling, loop fission,
+  index-set splitting and strip-mining/tiling;
+* :mod:`repro.transforms.scratchpad` -- WCET-directed scratchpad allocation
+  (reference [6] of the paper);
+* :class:`repro.transforms.base.PassManager` -- ordered application of passes
+  with per-pass reporting.
+"""
+
+from repro.transforms.base import FunctionPass, PassManager, PassReport
+from repro.transforms.simple import ConstantFoldingPass, DeadCodeEliminationPass
+from repro.transforms.loop_transforms import (
+    LoopUnrollPass,
+    LoopFissionPass,
+    IndexSetSplittingPass,
+    StripMinePass,
+)
+from repro.transforms.scratchpad import ScratchpadAllocationPass, allocate_scratchpad
+
+__all__ = [
+    "FunctionPass",
+    "PassManager",
+    "PassReport",
+    "ConstantFoldingPass",
+    "DeadCodeEliminationPass",
+    "LoopUnrollPass",
+    "LoopFissionPass",
+    "IndexSetSplittingPass",
+    "StripMinePass",
+    "ScratchpadAllocationPass",
+    "allocate_scratchpad",
+]

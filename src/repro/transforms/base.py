@@ -1,0 +1,43 @@
+"""Transformation pass infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.program import Function
+
+
+@dataclass
+class PassReport:
+    """What a pass did to a function (for the cross-layer report)."""
+
+    pass_name: str
+    function_name: str
+    changed: bool
+    details: dict[str, float | int | str] = field(default_factory=dict)
+
+
+class FunctionPass:
+    """Base class: a transformation applied to one IR function in place."""
+
+    name = "pass"
+
+    def run(self, function: Function) -> PassReport:
+        raise NotImplementedError
+
+
+@dataclass
+class PassManager:
+    """Applies an ordered list of passes and collects their reports."""
+
+    passes: list[FunctionPass] = field(default_factory=list)
+
+    def add(self, pass_: FunctionPass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, function: Function) -> list[PassReport]:
+        reports = []
+        for pass_ in self.passes:
+            reports.append(pass_.run(function))
+        return reports

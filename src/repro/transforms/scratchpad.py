@@ -1,0 +1,122 @@
+"""WCET-directed scratchpad allocation (paper reference [6]).
+
+Shared arrays that fit in the core-private scratchpad are relocated there,
+which (i) removes their access latency from the worst-case path and (ii)
+removes them from the set of interference-prone shared accesses the
+system-level analysis has to inflate.  Selection is a greedy knapsack on
+*worst-case accesses per byte*, the classic WCET-directed SPM heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.analysis import access_summary
+from repro.ir.program import Function, Storage
+from repro.transforms.base import FunctionPass, PassReport
+
+
+@dataclass
+class SpmAllocation:
+    """Result of a scratchpad allocation decision."""
+
+    moved: list[str] = field(default_factory=list)
+    kept_shared: list[str] = field(default_factory=list)
+    used_bytes: int = 0
+    capacity_bytes: int = 0
+    #: Estimated saved worst-case cycles (shared latency minus SPM latency,
+    #: times the worst-case access count of every moved array).
+    estimated_saving_cycles: float = 0.0
+
+
+def allocate_scratchpad(
+    function: Function,
+    capacity_bytes: int,
+    shared_latency: float = 8.0,
+    spm_latency: float = 1.0,
+    protect: set[str] | None = None,
+) -> SpmAllocation:
+    """Choose shared arrays to relocate into the scratchpad.
+
+    ``protect`` lists arrays that must remain shared (e.g. buffers written by
+    one core and read by another -- the caller knows the task mapping).
+    Returns the allocation decision; the caller applies it either by mutating
+    the IR declarations (:class:`ScratchpadAllocationPass`) or through the
+    cost-model override used during design-space exploration.
+    """
+    if capacity_bytes < 0:
+        raise ValueError("capacity must be non-negative")
+    protect = protect or set()
+    summary = access_summary(function.body)
+    access_count: dict[str, int] = {}
+    for name, count in summary.reads.items():
+        access_count[name] = access_count.get(name, 0) + count
+    for name, count in summary.writes.items():
+        access_count[name] = access_count.get(name, 0) + count
+
+    candidates = []
+    for decl in function.arrays():
+        if decl.storage not in (Storage.SHARED, Storage.INPUT, Storage.OUTPUT):
+            continue
+        if decl.name in protect:
+            continue
+        accesses = access_count.get(decl.name, 0)
+        if accesses == 0:
+            continue
+        candidates.append((accesses / decl.size_bytes, accesses, decl))
+    candidates.sort(key=lambda item: (-item[0], item[2].name))
+
+    allocation = SpmAllocation(capacity_bytes=capacity_bytes)
+    remaining = capacity_bytes
+    per_access_gain = max(0.0, shared_latency - spm_latency)
+    for _, accesses, decl in candidates:
+        if decl.size_bytes <= remaining:
+            allocation.moved.append(decl.name)
+            allocation.used_bytes += decl.size_bytes
+            allocation.estimated_saving_cycles += accesses * per_access_gain
+            remaining -= decl.size_bytes
+        else:
+            allocation.kept_shared.append(decl.name)
+    return allocation
+
+
+@dataclass
+class ScratchpadAllocationPass(FunctionPass):
+    """Apply :func:`allocate_scratchpad` by rewriting storage classes.
+
+    Only plain ``SHARED`` arrays are relocated in place; ``INPUT``/``OUTPUT``
+    parameters keep their storage class (they belong to the caller) -- callers
+    that want those staged into the SPM should use the cost-model override
+    returned in the report details.
+    """
+
+    capacity_bytes: int = 64 * 1024
+    shared_latency: float = 8.0
+    spm_latency: float = 1.0
+    protect: set[str] = field(default_factory=set)
+    name = "scratchpad_allocation"
+
+    def run(self, function: Function) -> PassReport:
+        allocation = allocate_scratchpad(
+            function,
+            self.capacity_bytes,
+            self.shared_latency,
+            self.spm_latency,
+            self.protect,
+        )
+        moved_in_place = []
+        for decl in function.decls:
+            if decl.name in allocation.moved and decl.storage is Storage.SHARED:
+                decl.storage = Storage.SCRATCHPAD
+                moved_in_place.append(decl.name)
+        return PassReport(
+            self.name,
+            function.name,
+            bool(moved_in_place),
+            {
+                "moved": ",".join(allocation.moved),
+                "moved_in_place": len(moved_in_place),
+                "used_bytes": allocation.used_bytes,
+                "estimated_saving_cycles": allocation.estimated_saving_cycles,
+            },
+        )

@@ -1,0 +1,110 @@
+"""Scalar clean-up passes: constant folding and dead-code elimination."""
+
+from __future__ import annotations
+
+from repro.ir.expressions import Const, Expr, try_evaluate_constant
+from repro.ir.program import Function
+from repro.ir.statements import Assign, Block, For, If, Stmt, While
+from repro.ir.visitors import StatementTransformer
+from repro.transforms.base import FunctionPass, PassReport
+
+
+class _Folder(StatementTransformer):
+    def __init__(self) -> None:
+        self.folded = 0
+
+    def visit_expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, Const):
+            return expr
+        value = try_evaluate_constant(expr)
+        if value is None:
+            return expr
+        self.folded += 1
+        if isinstance(value, bool):
+            return Const(value)
+        if isinstance(value, float) and value.is_integer() and abs(value) < 2**31:
+            return Const(int(value))
+        return Const(value)
+
+    def visit_if(self, stmt: If) -> Stmt | list[Stmt]:
+        cond = try_evaluate_constant(stmt.cond)
+        if cond is None:
+            return stmt
+        self.folded += 1
+        return list(stmt.then_body.stmts) if cond else list(stmt.else_body.stmts)
+
+
+class ConstantFoldingPass(FunctionPass):
+    """Fold constant sub-expressions and statically-decided branches."""
+
+    name = "constant_folding"
+
+    def run(self, function: Function) -> PassReport:
+        folder = _Folder()
+        function.body = folder.transform_block(function.body)
+        return PassReport(self.name, function.name, folder.folded > 0, {"folded": folder.folded})
+
+
+def _written_then_used(function: Function) -> set[str]:
+    """Names whose value is observable: read anywhere, or non-local storage."""
+    observable: set[str] = set()
+    from repro.ir.program import Storage
+
+    for decl in function.all_decls():
+        if decl.storage is not Storage.LOCAL:
+            observable.add(decl.name)
+    for stmt in function.body.walk():
+        observable |= stmt.variables_read()
+    return observable
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    """Remove assignments to local scalars that are never read.
+
+    Array writes and writes to shared/input/output storage are always kept
+    (they are observable).  The pass is conservative: it only looks at whole
+    names, not at individual elements or live ranges.
+    """
+
+    name = "dead_code_elimination"
+
+    def run(self, function: Function) -> PassReport:
+        observable = _written_then_used(function)
+        removed = 0
+
+        class _Pruner(StatementTransformer):
+            def visit_assign(self, stmt: Assign):
+                nonlocal removed
+                from repro.ir.expressions import Var
+
+                if isinstance(stmt.target, Var) and stmt.target.name not in observable:
+                    removed += 1
+                    return []
+                return stmt
+
+        function.body = _Pruner().transform_block(function.body)
+        # also drop now-empty loops (their only content was dead assignments)
+        cleaned = 0
+
+        class _EmptyLoopPruner(StatementTransformer):
+            def visit_for(self, stmt: For):
+                nonlocal cleaned
+                if not stmt.body.stmts:
+                    cleaned += 1
+                    return []
+                return stmt
+
+            def visit_while(self, stmt: While):
+                nonlocal cleaned
+                if not stmt.body.stmts:
+                    cleaned += 1
+                    return []
+                return stmt
+
+        function.body = _EmptyLoopPruner().transform_block(function.body)
+        return PassReport(
+            self.name,
+            function.name,
+            removed + cleaned > 0,
+            {"removed_assignments": removed, "removed_empty_loops": cleaned},
+        )

@@ -1,0 +1,37 @@
+"""The ARGO validation use cases (paper Section IV) plus synthetic workloads.
+
+* :mod:`repro.usecases.egpws` -- Enhanced Ground Proximity Warning System
+  (aerospace, DLR);
+* :mod:`repro.usecases.weaa` -- Wake Encounter Avoidance and Advisory system
+  (aerospace, DLR);
+* :mod:`repro.usecases.polka` -- POLKA polarization-camera glass-stress
+  inspection (industrial image processing, Fraunhofer IIS);
+* :mod:`repro.usecases.workloads` -- synthetic task graphs for scheduler
+  scalability studies.
+
+The proprietary data the real systems use (terrain databases, wake models,
+polarization sensor frames) is replaced by synthetic generators with the same
+computational structure; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.usecases.egpws import build_egpws_diagram, egpws_test_inputs
+from repro.usecases.weaa import build_weaa_diagram, weaa_test_inputs
+from repro.usecases.polka import build_polka_diagram, polka_test_inputs
+from repro.usecases.workloads import synthetic_compiled_model, random_pipeline_diagram
+
+__all__ = [
+    "build_egpws_diagram",
+    "egpws_test_inputs",
+    "build_weaa_diagram",
+    "weaa_test_inputs",
+    "build_polka_diagram",
+    "polka_test_inputs",
+    "synthetic_compiled_model",
+    "random_pipeline_diagram",
+]
+
+ALL_USECASES = {
+    "egpws": (build_egpws_diagram, egpws_test_inputs),
+    "weaa": (build_weaa_diagram, weaa_test_inputs),
+    "polka": (build_polka_diagram, polka_test_inputs),
+}

@@ -1,0 +1,101 @@
+"""Enhanced Ground Proximity Warning System (EGPWS) use case.
+
+The real EGPWS "provides alerts and warnings for obstacle and terrain along
+the flight path" by combining "high resolution terrain databases, GPS and
+other sensors" (paper Section IV-A).  The model below keeps that structure on
+synthetic data:
+
+* the terrain elevation profile ahead of the aircraft (sampled along the
+  predicted flight path from a terrain database) and the predicted aircraft
+  altitude profile are the external inputs;
+* the terrain profile is smoothed (sensor/database fusion stand-in);
+* clearance = altitude - terrain is computed per look-ahead sample;
+* the minimum clearance over the look-ahead window and a required-clearance
+  comparison produce the terrain alert;
+* a second path computes the closure rate (difference between consecutive
+  clearance samples) and raises an obstacle-ahead caution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import Diagram, library
+from repro.utils.rng import make_rng
+
+#: Default number of look-ahead samples along the flight path.
+DEFAULT_LOOKAHEAD = 32
+#: Required terrain clearance (same unit as the synthetic elevation data).
+REQUIRED_CLEARANCE = 150.0
+
+
+def build_egpws_diagram(lookahead: int = DEFAULT_LOOKAHEAD) -> Diagram:
+    """Build the EGPWS dataflow model.
+
+    External inputs:  ``terrain.u`` (terrain elevation profile) and
+    ``altitude.u`` (predicted aircraft altitude profile), both of length
+    ``lookahead``.  External outputs: ``alert.y`` (1.0 when the minimum
+    clearance drops below the requirement) and ``min_clearance.y``.
+    """
+    if lookahead < 8:
+        raise ValueError("lookahead must be at least 8 samples")
+    d = Diagram("egpws")
+    # sensor conditioning
+    d.add_block(library.gain("terrain", 1.0, size=lookahead))
+    d.add_block(library.gain("altitude", 1.0, size=lookahead))
+    d.add_block(library.moving_average("terrain_smooth", 4, lookahead))
+    # clearance = altitude - smoothed terrain
+    d.add_block(library.add("clearance", size=lookahead, sign_b=-1.0))
+    d.add_block(library.saturation("clearance_clip", -10000.0, 10000.0, size=lookahead))
+    d.add_block(library.window_min("min_clearance", lookahead))
+    # alert when required clearance exceeded: required - min_clearance > 0
+    d.add_block(library.gain("negate", -1.0))
+    d.add_block(library.constant("required", REQUIRED_CLEARANCE))
+    d.add_block(library.add("margin", size=1))
+    d.add_block(library.threshold("alert", 0.0))
+    # closure-rate path: FIR derivative of the clearance profile
+    d.add_block(library.fir_filter("closure_rate", np.array([1.0, -1.0]), lookahead))
+    d.add_block(library.threshold("steep_terrain", 75.0, size=lookahead))
+    d.add_block(library.scalar_max("caution", lookahead))
+
+    d.connect("terrain", "y", "terrain_smooth", "u")
+    d.connect("altitude", "y", "clearance", "a")
+    d.connect("terrain_smooth", "y", "clearance", "b")
+    d.connect("clearance", "y", "clearance_clip", "u")
+    d.connect("clearance_clip", "y", "min_clearance", "u")
+    d.connect("min_clearance", "y", "negate", "u")
+    d.connect("required", "y", "margin", "a")
+    d.connect("negate", "y", "margin", "b")
+    d.connect("margin", "y", "alert", "u")
+    d.connect("terrain_smooth", "y", "closure_rate", "u")
+    d.connect("closure_rate", "y", "steep_terrain", "u")
+    d.connect("steep_terrain", "y", "caution", "u")
+
+    d.mark_input("terrain", "u")
+    d.mark_input("altitude", "u")
+    d.mark_output("alert", "y")
+    d.mark_output("min_clearance", "y")
+    d.mark_output("caution", "y")
+    d.validate()
+    return d
+
+
+def synthetic_terrain_profile(lookahead: int, seed: int | None = None, ridge: bool = True) -> np.ndarray:
+    """Synthetic terrain elevations along the flight path (a rolling ridge)."""
+    rng = make_rng(seed)
+    x = np.linspace(0.0, 1.0, lookahead)
+    base = 300.0 + 200.0 * np.sin(2 * np.pi * x)
+    noise = rng.normal(0.0, 15.0, size=lookahead)
+    profile = base + noise
+    if ridge:
+        peak = int(0.7 * lookahead)
+        profile[peak - 2: peak + 2] += 350.0
+    return profile
+
+
+def egpws_test_inputs(lookahead: int = DEFAULT_LOOKAHEAD, seed: int | None = None, hazardous: bool = True) -> dict:
+    """External input vectors for one EGPWS step."""
+    terrain = synthetic_terrain_profile(lookahead, seed, ridge=hazardous)
+    cruise = (terrain.max() + (50.0 if hazardous else 600.0))
+    altitude = np.full(lookahead, cruise)
+    return {"terrain.u": terrain, "altitude.u": altitude}

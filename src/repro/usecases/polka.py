@@ -1,0 +1,130 @@
+"""POLKA polarization-camera glass-stress inspection use case.
+
+POLKA "uses a novel sensor that measures the polarization of light to detect
+residual stress in glass containers" (paper Section IV-B).  A polarization
+camera captures four intensity images behind polarizers at 0/45/90/135
+degrees; residual stress shows up as birefringence, i.e. a locally elevated
+degree of linear polarization (DoLP).  The model reproduces that pipeline on
+synthetic line-scan data:
+
+* per-pixel Stokes parameters ``S0 = I0 + I90``, ``S1 = I0 - I90``,
+  ``S2 = I45 - I135``;
+* ``DoLP = sqrt(S1^2 + S2^2) / S0`` (numerically guarded);
+* spatial smoothing, a defect threshold, a defect-pixel count and a
+  pass/fail decision for the inspected container.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import Diagram, library
+from repro.model.blocks import Block, Port
+from repro.utils.rng import make_rng
+
+#: Pixels per line-scan segment processed each hard-real-time period.
+DEFAULT_PIXELS = 64
+#: DoLP threshold above which a pixel is considered stressed.
+STRESS_THRESHOLD = 0.25
+#: Number of stressed pixels that fails the container.
+FAIL_PIXEL_COUNT = 4.0
+
+
+def _dolp_block(name: str, pixels: int) -> Block:
+    """Per-pixel degree-of-linear-polarization computation."""
+    return Block(
+        name=name,
+        kind="dolp",
+        inputs=[Port("s0", (pixels,)), Port("s1", (pixels,)), Port("s2", (pixels,))],
+        outputs=[Port("y", (pixels,))],
+        params={"n": pixels, "eps": 1e-3},
+        behavior=(
+            "for i = 1:n\n"
+            "  denom = s0(i)\n"
+            "  if denom < eps then\n"
+            "    denom = eps\n"
+            "  end\n"
+            "  y(i) = sqrt(s1(i) * s1(i) + s2(i) * s2(i)) / denom\n"
+            "end"
+        ),
+    )
+
+
+def _count_block(name: str, pixels: int) -> Block:
+    """Count the number of asserted (0/1) pixels."""
+    return Block(
+        name=name,
+        kind="count",
+        inputs=[Port("u", (pixels,))],
+        outputs=[Port("y")],
+        params={"n": pixels},
+        behavior=(
+            "acc = 0\n"
+            "for i = 1:n\n"
+            "  acc = acc + u(i)\n"
+            "end\n"
+            "y = acc"
+        ),
+    )
+
+
+def build_polka_diagram(pixels: int = DEFAULT_PIXELS) -> Diagram:
+    """Build the POLKA inspection dataflow model.
+
+    External inputs: the four polarization channel line segments
+    ``i0.u``, ``i45.u``, ``i90.u``, ``i135.u``.  External outputs:
+    ``defect_count.y`` and ``reject.y`` (1.0 when the container fails).
+    """
+    if pixels < 8:
+        raise ValueError("pixels must be at least 8")
+    d = Diagram("polka")
+    for channel in ("i0", "i45", "i90", "i135"):
+        d.add_block(library.gain(channel, 1.0, size=pixels))
+    d.add_block(library.add("s0", size=pixels, sign_b=1.0))
+    d.add_block(library.add("s1", size=pixels, sign_b=-1.0))
+    d.add_block(library.add("s2", size=pixels, sign_b=-1.0))
+    d.add_block(_dolp_block("dolp", pixels))
+    d.add_block(library.moving_average("dolp_smooth", 4, pixels))
+    d.add_block(library.threshold("stress", STRESS_THRESHOLD, size=pixels))
+    d.add_block(_count_block("defect_count", pixels))
+    d.add_block(library.threshold("reject", FAIL_PIXEL_COUNT))
+
+    d.connect("i0", "y", "s0", "a")
+    d.connect("i90", "y", "s0", "b")
+    d.connect("i0", "y", "s1", "a")
+    d.connect("i90", "y", "s1", "b")
+    d.connect("i45", "y", "s2", "a")
+    d.connect("i135", "y", "s2", "b")
+    d.connect("s0", "y", "dolp", "s0")
+    d.connect("s1", "y", "dolp", "s1")
+    d.connect("s2", "y", "dolp", "s2")
+    d.connect("dolp", "y", "dolp_smooth", "u")
+    d.connect("dolp_smooth", "y", "stress", "u")
+    d.connect("stress", "y", "defect_count", "u")
+    d.connect("defect_count", "y", "reject", "u")
+
+    for channel in ("i0", "i45", "i90", "i135"):
+        d.mark_input(channel, "u")
+    d.mark_output("defect_count", "y")
+    d.mark_output("reject", "y")
+    d.validate()
+    return d
+
+
+def polka_test_inputs(pixels: int = DEFAULT_PIXELS, seed: int | None = None, stressed: bool = True) -> dict:
+    """Synthetic polarization line-scan inputs.
+
+    A stressed region is injected as locally increased linear polarization
+    (larger difference between the 0/90 and 45/135 channel pairs).
+    """
+    rng = make_rng(seed)
+    unpolarized = 0.8 + rng.normal(0.0, 0.02, size=pixels)
+    i0 = unpolarized / 2 + rng.normal(0.0, 0.01, size=pixels)
+    i90 = unpolarized / 2 + rng.normal(0.0, 0.01, size=pixels)
+    i45 = unpolarized / 2 + rng.normal(0.0, 0.01, size=pixels)
+    i135 = unpolarized / 2 + rng.normal(0.0, 0.01, size=pixels)
+    if stressed:
+        region = slice(pixels // 3, pixels // 3 + max(6, pixels // 8))
+        i0[region] += 0.3
+        i90[region] -= 0.2
+    return {"i0.u": i0, "i45.u": i45, "i90.u": i90, "i135.u": i135}

@@ -1,0 +1,143 @@
+"""Synthetic workload generators for scalability and scheduler studies.
+
+Two generators are provided:
+
+* :func:`random_pipeline_diagram` builds a random dataflow diagram from the
+  standard block library (fan-out / fan-in stages of vector kernels), used to
+  stress the whole flow;
+* :func:`synthetic_compiled_model` builds a random multi-kernel IR function
+  directly (bypassing the model level) and wraps it as a
+  :class:`~repro.frontend.codegen.CompiledModel`, which is the cheapest way to
+  produce HTGs of a given size for scheduler benchmarks (E8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.codegen import CompiledModel
+from repro.ir.builder import FunctionBuilder
+from repro.ir.program import Program
+from repro.ir.statements import Block as IRBlock
+from repro.model import Diagram, library
+from repro.utils.rng import make_rng
+
+
+def random_pipeline_diagram(
+    stages: int = 4,
+    width: int = 2,
+    vector_size: int = 32,
+    seed: int | None = None,
+) -> Diagram:
+    """A random layered diagram: ``stages`` layers of ``width`` vector kernels.
+
+    Each kernel reads the output of one random kernel in the previous layer;
+    the final layer is reduced to scalar outputs.  All blocks come from the
+    standard library, so the diagram exercises exactly the same code paths as
+    the hand-written use cases.
+    """
+    if stages < 2 or width < 1:
+        raise ValueError("need at least 2 stages and width >= 1")
+    rng = make_rng(seed)
+    d = Diagram(f"synthetic_s{stages}w{width}")
+    kinds = ["gain", "saturation", "fir", "elementwise"]
+    previous: list[str] = []
+    for layer in range(stages):
+        current: list[str] = []
+        for lane in range(width):
+            name = f"b{layer}_{lane}"
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            if kind == "gain":
+                block = library.gain(name, float(rng.uniform(0.5, 2.0)), size=vector_size)
+            elif kind == "saturation":
+                block = library.saturation(name, -5.0, 5.0, size=vector_size)
+            elif kind == "fir":
+                taps = rng.uniform(0.1, 0.5, size=3)
+                block = library.fir_filter(name, taps, size=vector_size)
+            else:
+                block = library.elementwise(name, "abs", size=vector_size)
+            d.add_block(block)
+            if layer == 0:
+                d.mark_input(name, "u")
+            else:
+                source = previous[int(rng.integers(0, len(previous)))]
+                d.connect(source, "y", name, "u")
+            current.append(name)
+        previous = current
+    for lane, name in enumerate(previous):
+        reducer = library.scalar_max(f"reduce_{lane}", vector_size)
+        d.add_block(reducer)
+        d.connect(name, "y", reducer.name, "u")
+        d.mark_output(reducer.name, "y")
+    d.validate()
+    return d
+
+
+def synthetic_compiled_model(
+    num_kernels: int = 8,
+    vector_size: int = 64,
+    dependency_probability: float = 0.35,
+    seed: int | None = None,
+) -> CompiledModel:
+    """A random multi-kernel IR function wrapped as a compiled model.
+
+    Kernel ``k`` reads a subset of the output buffers of earlier kernels (per
+    ``dependency_probability``) plus its own input buffer, and writes its own
+    output buffer; each kernel is one block region, so the HTG extractor sees
+    a random DAG with realistic WCETs and shared-access counts.
+    """
+    if num_kernels < 1:
+        raise ValueError("need at least one kernel")
+    rng = make_rng(seed)
+    name = f"synthetic_k{num_kernels}"
+    fb = FunctionBuilder(f"{name}_step")
+
+    inputs = []
+    outputs = []
+    for k in range(num_kernels):
+        inputs.append(fb.input_array(f"in_k{k}", (vector_size,)))
+        outputs.append(fb.shared_array(f"buf_k{k}", (vector_size,)))
+
+    regions: list[tuple[str, IRBlock]] = []
+    for k in range(num_kernels):
+        region = IRBlock()
+        fb._blocks.append(region)
+        try:
+            sources = [inputs[k]]
+            for j in range(k):
+                if rng.random() < dependency_probability:
+                    sources.append(outputs[j])
+            work = int(rng.integers(1, 4))
+            with fb.loop("i", 0, vector_size) as i:
+                acc = None
+                for src in sources:
+                    term = fb.at(src, i)
+                    acc = term if acc is None else acc + term
+                for _ in range(work):
+                    acc = fb.call("sqrt", fb.call("abs", acc)) + acc
+                fb.assign(fb.at(outputs[k], i), acc)
+        finally:
+            fb._blocks.pop()
+        fb.emit(region)
+        regions.append((f"kernel{k}", region))
+
+    function = fb.build()
+    model = CompiledModel(
+        diagram_name=name,
+        program=Program(name),
+        entry_name=function.name,
+        block_regions=regions,
+    )
+    model.program.add(function)
+    for k in range(num_kernels):
+        model.inputs[f"in_k{k}"] = (f"kernel{k}", "u", (vector_size,))
+    return model
+
+
+def random_input_vectors(model: CompiledModel, seed: int | None = None) -> dict[str, np.ndarray]:
+    """Random external inputs for a synthetic compiled model."""
+    rng = make_rng(seed)
+    values: dict[str, np.ndarray] = {}
+    for name, (_, _, shape) in model.inputs.items():
+        values[name] = rng.uniform(-1.0, 1.0, size=shape if shape else ())
+    return values

@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG, table formatting, graph helpers."""
+
+from repro.utils.rng import make_rng
+from repro.utils.tables import Table
+from repro.utils.intervals import Interval, intervals_overlap
+from repro.utils.graphs import (
+    topological_order,
+    longest_path_length,
+    transitive_closure,
+    is_acyclic,
+)
+
+__all__ = [
+    "make_rng",
+    "Table",
+    "Interval",
+    "intervals_overlap",
+    "topological_order",
+    "longest_path_length",
+    "transitive_closure",
+    "is_acyclic",
+]

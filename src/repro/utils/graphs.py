@@ -1,0 +1,77 @@
+"""Small directed-graph helpers shared by the HTG, scheduling and WCET layers.
+
+These wrap :mod:`networkx` with the restricted interfaces the tool chain
+needs (topological order, DAG longest path with node weights, transitive
+closure) so callers never depend on networkx types directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+
+def is_acyclic(edges: Iterable[tuple[Hashable, Hashable]], nodes: Iterable[Hashable] = ()) -> bool:
+    """Return True when the directed graph defined by ``edges`` has no cycle."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def topological_order(
+    nodes: Iterable[Hashable], edges: Iterable[tuple[Hashable, Hashable]]
+) -> list[Hashable]:
+    """Deterministic topological order (lexicographic tie-break on ``str``)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("graph contains a cycle; no topological order exists")
+    return list(nx.lexicographical_topological_sort(graph, key=str))
+
+
+def longest_path_length(
+    nodes: Iterable[Hashable],
+    edges: Iterable[tuple[Hashable, Hashable]],
+    node_weight: Callable[[Hashable], float] | Mapping[Hashable, float],
+    edge_weight: Callable[[Hashable, Hashable], float] | None = None,
+) -> float:
+    """Length of the heaviest path in a DAG, counting node and edge weights.
+
+    This is the critical-path length used both as a scheduling lower bound and
+    by the structural WCET computation over task graphs.
+    """
+    if isinstance(node_weight, Mapping):
+        weights = node_weight
+        node_weight_fn = lambda n: float(weights.get(n, 0.0))  # noqa: E731
+    else:
+        node_weight_fn = node_weight
+    edge_weight_fn = edge_weight or (lambda u, v: 0.0)
+
+    order = topological_order(nodes, edges)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(order)
+    graph.add_edges_from(edges)
+
+    finish: dict[Hashable, float] = {}
+    best = 0.0
+    for node in order:
+        start = 0.0
+        for pred in graph.predecessors(node):
+            start = max(start, finish[pred] + edge_weight_fn(pred, node))
+        finish[node] = start + float(node_weight_fn(node))
+        best = max(best, finish[node])
+    return best
+
+
+def transitive_closure(
+    nodes: Iterable[Hashable], edges: Iterable[tuple[Hashable, Hashable]]
+) -> set[tuple[Hashable, Hashable]]:
+    """Set of (u, v) pairs such that v is reachable from u by one or more edges."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    closure = nx.transitive_closure_dag(graph) if nx.is_directed_acyclic_graph(graph) else nx.transitive_closure(graph)
+    return set(closure.edges())

@@ -1,0 +1,60 @@
+"""Half-open time intervals, used by schedules and the MHP analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` on the time axis."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True when the two half-open intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def shifted(self, delta: float) -> "Interval":
+        return Interval(self.start + delta, self.end + delta)
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Module-level convenience wrapper around :meth:`Interval.overlaps`."""
+    return a.overlaps(b)
+
+
+def total_busy_time(intervals: list[Interval]) -> float:
+    """Length of the union of ``intervals`` (used for core utilisation)."""
+    if not intervals:
+        return 0.0
+    ordered = sorted(intervals, key=lambda iv: iv.start)
+    total = 0.0
+    cur_start, cur_end = ordered[0].start, ordered[0].end
+    for iv in ordered[1:]:
+        if iv.start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = iv.start, iv.end
+        else:
+            cur_end = max(cur_end, iv.end)
+    total += cur_end - cur_start
+    return total

@@ -1,0 +1,61 @@
+"""Plain-text table rendering used by the benchmark harness and reports.
+
+The ARGO paper contains no numeric tables, so the benchmark harness defines
+its own experiment tables (see ``EXPERIMENTS.md``).  :class:`Table` renders
+them in a stable, diff-friendly fixed-width format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["app", "cores", "wcet"])
+    >>> t.add_row(["egpws", 4, 1234.0])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    app   | cores | wcet...
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [_fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(headers))
+        out.append("-+-".join("-" * w for w in widths))
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,26 @@
+"""Code-level and system-level WCET analysis (paper Section II-D).
+
+* :mod:`repro.wcet.hardware_model` turns the ADL description into per-access
+  and per-operation worst-case costs.
+* :mod:`repro.wcet.code_level` computes the isolated (contention-free) WCET of
+  IR fragments / HTG tasks, either structurally or through the IPET
+  longest-path formulation of :mod:`repro.wcet.ipet`.
+* :mod:`repro.wcet.system_level` adds shared-resource interference based on a
+  may-happen-in-parallel analysis of the scheduled parallel program and the
+  platform's interconnect cost model, iterated to a fixed point.
+"""
+
+from repro.wcet.hardware_model import HardwareCostModel
+from repro.wcet.code_level import analyze_function_wcet, analyze_task_wcet, annotate_htg_wcets
+from repro.wcet.ipet import ipet_wcet
+from repro.wcet.system_level import SystemWcetResult, system_level_wcet
+
+__all__ = [
+    "HardwareCostModel",
+    "analyze_function_wcet",
+    "analyze_task_wcet",
+    "annotate_htg_wcets",
+    "ipet_wcet",
+    "SystemWcetResult",
+    "system_level_wcet",
+]

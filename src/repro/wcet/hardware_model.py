@@ -1,0 +1,113 @@
+"""Hardware cost model: from ADL description to per-operation/access cycles.
+
+This is the reproduction's stand-in for a binary-level analyzer's pipeline
+and memory models (aiT in the real ARGO flow): every IR operation and every
+array access gets a worst-case cycle cost derived from the platform
+description.  Contention is *not* included here -- code-level WCET is defined
+as the isolated WCET (paper Section II-D); the system-level analysis adds
+interference separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.architecture import Platform
+from repro.ir.program import Function, Storage
+
+
+@dataclass
+class HardwareCostModel:
+    """Worst-case cost provider for one core of one platform.
+
+    Parameters
+    ----------
+    platform:
+        The target platform (ADL description).
+    core_id:
+        The core the analysed code runs on (cores may differ in processor
+        model on heterogeneous platforms).
+    storage_override:
+        Optional map ``array name -> Storage`` overriding the declared storage
+        class, used by the scratchpad-allocation transformation to evaluate
+        placements without mutating the IR.
+    """
+
+    platform: Platform
+    core_id: int = 0
+    storage_override: dict[str, Storage] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._core = self.platform.core(self.core_id)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def processor(self):
+        return self._core.processor
+
+    def op_cycles(self, op: str) -> float:
+        return float(self.processor.cycles_for_op(op))
+
+    @property
+    def branch_cycles(self) -> float:
+        return float(self.processor.branch_cycles)
+
+    @property
+    def loop_overhead_cycles(self) -> float:
+        return float(self.processor.loop_overhead_cycles)
+
+    # ------------------------------------------------------------------ #
+    def storage_of(self, function: Function, name: str) -> Storage:
+        if name in self.storage_override:
+            return self.storage_override[name]
+        decl = function.lookup(name)
+        if decl is None:
+            return Storage.LOCAL
+        return decl.storage
+
+    def is_shared(self, function: Function, name: str) -> bool:
+        return self.storage_of(function, name) in (Storage.SHARED, Storage.INPUT, Storage.OUTPUT)
+
+    def read_cycles(self, function: Function, name: str, contenders: int = 0) -> float:
+        """Worst-case cycles for one element read of array ``name``."""
+        storage = self.storage_of(function, name)
+        if storage is Storage.LOCAL:
+            return 1.0
+        if storage is Storage.SCRATCHPAD:
+            return float(self._core.scratchpad.read_latency)
+        return self.platform.shared_read_latency(contenders)
+
+    def write_cycles(self, function: Function, name: str, contenders: int = 0) -> float:
+        """Worst-case cycles for one element write of array ``name``."""
+        storage = self.storage_of(function, name)
+        if storage is Storage.LOCAL:
+            return 1.0
+        if storage is Storage.SCRATCHPAD:
+            return float(self._core.scratchpad.write_latency)
+        return self.platform.shared_write_latency(contenders)
+
+    def shared_access_penalty(self, contenders: int) -> float:
+        """Extra cycles per shared access caused by ``contenders`` competitors.
+
+        This is the quantity the system-level analysis multiplies by each
+        task's worst-case shared access count.
+        """
+        if contenders <= 0:
+            return 0.0
+        base = self.platform.interconnect.worst_case_access_delay(0)
+        contended = self.platform.interconnect.worst_case_access_delay(contenders)
+        return max(0.0, contended - base)
+
+    def average_read_cycles(self, function: Function, name: str) -> float:
+        """Optimistic (average-case) read cost used by the baseline scheduler.
+
+        Assumes no contention and charges half the worst-case shared latency,
+        which is how an average-case-oriented flow would budget memory.
+        """
+        worst = self.read_cycles(function, name, contenders=0)
+        if self.is_shared(function, name):
+            return max(1.0, worst / 2.0)
+        return worst
+
+    def average_op_cycles(self, op: str) -> float:
+        return max(1.0, self.op_cycles(op) / 2.0)

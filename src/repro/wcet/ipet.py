@@ -1,0 +1,137 @@
+"""IPET (Implicit Path Enumeration Technique) WCET computation.
+
+The classical formulation used by binary-level analyzers: maximise the sum of
+basic-block costs weighted by execution counts, subject to CFG flow
+conservation and loop-bound constraints, solved as a linear program.  On our
+structured IR it serves as an independent cross-check of the structural
+analysis (they must agree on loop-free code and stay within the loop-header
+accounting difference otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ir.cfg import ControlFlowGraph, build_cfg
+from repro.ir.program import Function
+from repro.wcet.code_level import WcetBreakdown, statement_wcet, _expr_cost
+from repro.wcet.hardware_model import HardwareCostModel
+
+
+class IpetError(RuntimeError):
+    """Raised when the IPET linear program cannot be solved."""
+
+
+@dataclass
+class IpetResult:
+    """Outcome of the IPET longest-path computation."""
+
+    wcet: float
+    block_counts: dict[int, float]
+    cfg: ControlFlowGraph
+
+
+def _block_cost(block, function: Function, model: HardwareCostModel) -> float:
+    total = 0.0
+    for stmt in block.statements:
+        total += statement_wcet(stmt, function, model).total
+    for cond in block.conditions:
+        total += _expr_cost(cond, function, model, average=False).total + model.branch_cycles
+    return total
+
+
+def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
+    """Compute the WCET of ``function`` through the IPET linear program.
+
+    Variables: execution count ``x_e`` of every CFG edge.  Block counts are
+    derived as the sum of incoming edge counts.  Constraints:
+
+    * flow conservation at every block (in-flow == out-flow);
+    * the entry block executes exactly once;
+    * for every loop header, the back-edge count is at most ``bound`` times
+      the count of the entry (non-back) edges into the header.
+
+    Objective: maximise ``sum(block_cost * block_count)``.
+    """
+    cfg = build_cfg(function)
+    edges = cfg.edges
+    if not edges:
+        raise IpetError(f"function {function.name!r} has an empty CFG")
+    edge_index = {id(edge): i for i, edge in enumerate(edges)}
+    num_vars = len(edges)
+
+    costs = {block.bid: _block_cost(block, function, model) for block in cfg.blocks}
+
+    # Objective: block count = sum of incoming edges (entry handled separately).
+    c = np.zeros(num_vars)
+    for edge in edges:
+        c[edge_index[id(edge)]] -= costs[edge.dst.bid]
+    entry_cost = costs[cfg.entry.bid] if cfg.entry is not None else 0.0
+
+    a_eq_rows: list[np.ndarray] = []
+    b_eq: list[float] = []
+
+    # Flow conservation for every block except entry and exit.
+    for block in cfg.blocks:
+        if block is cfg.entry or block is cfg.exit:
+            continue
+        row = np.zeros(num_vars)
+        for edge in edges:
+            if edge.dst is block:
+                row[edge_index[id(edge)]] += 1.0
+            if edge.src is block:
+                row[edge_index[id(edge)]] -= 1.0
+        a_eq_rows.append(row)
+        b_eq.append(0.0)
+
+    # Entry: out-flow is exactly one; exit: in-flow is exactly one.
+    row = np.zeros(num_vars)
+    for edge in edges:
+        if edge.src is cfg.entry:
+            row[edge_index[id(edge)]] += 1.0
+    a_eq_rows.append(row)
+    b_eq.append(1.0)
+
+    row = np.zeros(num_vars)
+    for edge in edges:
+        if edge.dst is cfg.exit:
+            row[edge_index[id(edge)]] += 1.0
+    a_eq_rows.append(row)
+    b_eq.append(1.0)
+
+    # Loop bounds: back-edge count <= bound * entry-edge count of the header.
+    a_ub_rows: list[np.ndarray] = []
+    b_ub: list[float] = []
+    for header_bid, bound in cfg.loop_bounds.items():
+        header = cfg.block_by_id(header_bid)
+        row = np.zeros(num_vars)
+        for edge in edges:
+            if edge.dst is header and edge.kind == "back":
+                row[edge_index[id(edge)]] += 1.0
+            elif edge.dst is header:
+                row[edge_index[id(edge)]] -= float(bound)
+        a_ub_rows.append(row)
+        b_ub.append(0.0)
+
+    result = linprog(
+        c,
+        A_eq=np.array(a_eq_rows),
+        b_eq=np.array(b_eq),
+        A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise IpetError(f"IPET LP failed for {function.name!r}: {result.message}")
+
+    block_counts: dict[int, float] = {cfg.entry.bid: 1.0}
+    for edge in edges:
+        count = float(result.x[edge_index[id(edge)]])
+        block_counts[edge.dst.bid] = block_counts.get(edge.dst.bid, 0.0) + count
+
+    wcet = -float(result.fun) + entry_cost
+    return IpetResult(wcet=wcet, block_counts=block_counts, cfg=cfg)

@@ -1,0 +1,257 @@
+"""System-level (contention-aware) multi-core WCET analysis.
+
+Given a mapping and per-core ordering of HTG tasks, this analysis
+
+1. recomputes each task's isolated WCET on the core it is mapped to,
+2. derives the static schedule timeline (dependences + core ordering +
+   worst-case communication latencies),
+3. runs a may-happen-in-parallel (MHP) analysis on the timeline: two tasks may
+   interfere when they are mapped to different cores and their time windows
+   overlap (dependent tasks can never overlap by construction),
+4. charges every task an interference penalty equal to its worst-case number
+   of shared accesses times the interconnect's per-access penalty for the
+   observed number of contending cores, and
+5. iterates -- inflating a task stretches its window, which may create new
+   overlaps -- until a fixed point (interference is monotone, so the
+   iteration converges; a safety cap guards against pathological cases by
+   falling back to the all-cores-contend worst case).
+
+The result's makespan is the guaranteed end-to-end WCET of the parallel
+program (paper Section II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.architecture import Platform
+from repro.htg.graph import HierarchicalTaskGraph
+from repro.ir.program import Function, Storage
+from repro.utils.intervals import Interval
+from repro.wcet.code_level import analyze_task_wcet
+from repro.wcet.hardware_model import HardwareCostModel
+
+
+@dataclass
+class SystemWcetResult:
+    """Outcome of the system-level analysis."""
+
+    makespan: float
+    task_intervals: dict[str, Interval]
+    task_cores: dict[str, int]
+    task_effective_wcet: dict[str, float]
+    task_contenders: dict[str, int]
+    interference_cycles: float
+    communication_cycles: float
+    iterations: int
+    converged: bool
+
+    def interval(self, task_id: str) -> Interval:
+        return self.task_intervals[task_id]
+
+
+class SystemWcetError(RuntimeError):
+    """Raised when the schedule handed to the analysis is inconsistent."""
+
+
+def _build_timeline(
+    htg: HierarchicalTaskGraph,
+    mapping: dict[str, int],
+    order: dict[int, list[str]],
+    effective_wcet: dict[str, float],
+    comm_delay,
+) -> tuple[dict[str, Interval], float]:
+    """Static timeline respecting dependences and per-core ordering."""
+    position = {tid: (core, idx) for core, tids in order.items() for idx, tid in enumerate(tids)}
+    for tid in mapping:
+        if tid not in position:
+            raise SystemWcetError(f"task {tid!r} is mapped but missing from the core order")
+
+    finish: dict[str, float] = {}
+    start: dict[str, float] = {}
+    remaining = [t.task_id for t in htg.leaf_tasks()]
+    pending = set(remaining)
+    core_ready: dict[int, float] = {}
+    # iterate until all placed (simple worklist; graph is a DAG so it finishes)
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > len(remaining) ** 2 + 10:
+            raise SystemWcetError("could not order tasks; core order conflicts with dependences")
+        progressed = False
+        for tid in list(pending):
+            core, idx = position[tid]
+            preds = [p for p in htg.predecessors(tid) if p in pending or p in finish]
+            if any(p in pending for p in preds):
+                continue
+            # previous task on the same core must be done
+            if idx > 0:
+                prev = order[core][idx - 1]
+                if prev in pending:
+                    continue
+                ready_core = finish[prev]
+            else:
+                ready_core = 0.0
+            ready_deps = 0.0
+            for p in preds:
+                delay = comm_delay(p, tid) if mapping[p] != core else 0.0
+                ready_deps = max(ready_deps, finish[p] + delay)
+            s = max(ready_core, ready_deps, core_ready.get(core, 0.0))
+            start[tid] = s
+            finish[tid] = s + effective_wcet[tid]
+            pending.discard(tid)
+            progressed = True
+        if not progressed:
+            raise SystemWcetError("cyclic wait between core order and dependences")
+    intervals = {tid: Interval(start[tid], finish[tid]) for tid in start}
+    makespan = max((iv.end for iv in intervals.values()), default=0.0)
+    return intervals, makespan
+
+
+def system_level_wcet(
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    mapping: dict[str, int],
+    order: dict[int, list[str]],
+    storage_override: dict[str, Storage] | None = None,
+    max_iterations: int = 25,
+) -> SystemWcetResult:
+    """Contention-aware multi-core WCET of a mapped and ordered HTG."""
+    storage_override = storage_override or {}
+    leaf_ids = [t.task_id for t in htg.leaf_tasks()]
+    missing = [tid for tid in leaf_ids if tid not in mapping]
+    if missing:
+        raise SystemWcetError(f"tasks without a mapping: {missing}")
+
+    models = {
+        core_id: HardwareCostModel(platform, core_id, storage_override)
+        for core_id in {mapping[tid] for tid in leaf_ids}
+    }
+    base_wcet: dict[str, float] = {}
+    shared_accesses: dict[str, int] = {}
+    for tid in leaf_ids:
+        task = htg.task(tid)
+        model = models[mapping[tid]]
+        breakdown = analyze_task_wcet(task, function, model)
+        base_wcet[tid] = breakdown.total
+        shared_accesses[tid] = breakdown.shared_accesses
+
+    num_cores = platform.num_cores
+    comm_contenders = max(0, num_cores - 1)
+    comm_cache: dict[tuple[str, str], float] = {}
+
+    def comm_delay(src: str, dst: str) -> float:
+        key = (src, dst)
+        if key not in comm_cache:
+            edge = htg.edge(src, dst)
+            payload = edge.payload_bytes if edge is not None else 0
+            if payload == 0:
+                comm_cache[key] = 0.0
+            else:
+                comm_cache[key] = platform.communication_latency(
+                    payload, mapping[src], mapping[dst], comm_contenders
+                )
+        return comm_cache[key]
+
+    effective = dict(base_wcet)
+    contenders: dict[str, int] = {tid: 0 for tid in leaf_ids}
+    intervals: dict[str, Interval] = {}
+    makespan = 0.0
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        intervals, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
+        new_contenders: dict[str, int] = {}
+        for tid in leaf_ids:
+            other_cores = set()
+            for other in leaf_ids:
+                if other == tid or mapping[other] == mapping[tid]:
+                    continue
+                if shared_accesses[other] == 0:
+                    continue
+                if intervals[tid].overlaps(intervals[other]):
+                    other_cores.add(mapping[other])
+            new_contenders[tid] = len(other_cores)
+        new_effective = {
+            tid: base_wcet[tid]
+            + shared_accesses[tid] * models[mapping[tid]].shared_access_penalty(new_contenders[tid])
+            for tid in leaf_ids
+        }
+        if new_effective == effective and new_contenders == contenders:
+            converged = True
+            contenders = new_contenders
+            break
+        effective = new_effective
+        contenders = new_contenders
+    if not converged:
+        # Safety fall-back: assume every other core contends on every access.
+        worst = {
+            tid: base_wcet[tid]
+            + shared_accesses[tid]
+            * models[mapping[tid]].shared_access_penalty(comm_contenders)
+            for tid in leaf_ids
+        }
+        effective = {tid: max(effective[tid], worst[tid]) for tid in leaf_ids}
+        intervals, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
+
+    interference = sum(effective[tid] - base_wcet[tid] for tid in leaf_ids)
+    communication = sum(
+        comm_delay(e.src, e.dst)
+        for e in htg.edges
+        if e.src in mapping and e.dst in mapping and mapping[e.src] != mapping[e.dst]
+    )
+    return SystemWcetResult(
+        makespan=makespan,
+        task_intervals=intervals,
+        task_cores=dict(mapping),
+        task_effective_wcet=effective,
+        task_contenders=contenders,
+        interference_cycles=interference,
+        communication_cycles=communication,
+        iterations=iterations,
+        converged=converged or True,
+    )
+
+
+def contention_oblivious_bound(
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    mapping: dict[str, int],
+    order: dict[int, list[str]],
+) -> float:
+    """Naive bound that assumes maximal contention on every shared access.
+
+    This is what a WCET analysis without the parallel-program model must
+    assume (it cannot rule out any interleaving): every shared access of every
+    task is delayed by all other cores.  Experiment E3 compares this bound
+    against the MHP-based system-level bound.
+    """
+    leaf_ids = [t.task_id for t in htg.leaf_tasks()]
+    models = {
+        core_id: HardwareCostModel(platform, core_id)
+        for core_id in {mapping[tid] for tid in leaf_ids}
+    }
+    worst_contenders = max(0, platform.num_cores - 1)
+    effective = {}
+    shared_accesses = {}
+    for tid in leaf_ids:
+        task = htg.task(tid)
+        model = models[mapping[tid]]
+        breakdown = analyze_task_wcet(task, function, model)
+        shared_accesses[tid] = breakdown.shared_accesses
+        effective[tid] = breakdown.total + breakdown.shared_accesses * model.shared_access_penalty(
+            worst_contenders
+        )
+
+    def comm_delay(src: str, dst: str) -> float:
+        edge = htg.edge(src, dst)
+        payload = edge.payload_bytes if edge is not None else 0
+        if payload == 0:
+            return 0.0
+        return platform.communication_latency(payload, mapping[src], mapping[dst], worst_contenders)
+
+    _, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
+    return makespan

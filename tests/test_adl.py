@@ -1,0 +1,220 @@
+"""Tests for the ADL: processors, memories, interconnects, NoC, platforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adl import (
+    Core,
+    FullCrossbar,
+    MeshNoC,
+    Platform,
+    ProcessorModel,
+    RoundRobinBus,
+    TDMBus,
+    generic_predictable_multicore,
+    kit_leon3_inoc,
+    recore_xentium_like,
+    xy_route,
+)
+from repro.adl.memory import (
+    MemoryKind,
+    MemoryRegion,
+    external_dram,
+    scratchpad,
+    shared_sram,
+)
+from repro.adl.processor import leon3_processor, xentium_processor
+
+
+class TestProcessor:
+    def test_known_and_unknown_ops(self):
+        proc = ProcessorModel("p")
+        assert proc.cycles_for_op("+") == 1
+        assert proc.cycles_for_op("unknown_op") == max(proc.op_cycles.values())
+
+    def test_scaled_model(self):
+        proc = ProcessorModel("p")
+        fast = proc.scaled(0.5)
+        assert fast.cycles_for_op("/") <= proc.cycles_for_op("/")
+        assert fast.cycles_for_op("+") >= 1
+        with pytest.raises(ValueError):
+            proc.scaled(0.0)
+
+    def test_predictability_flags(self):
+        assert ProcessorModel("p").is_predictable
+        assert not ProcessorModel("p", dynamic_branch_prediction=True).is_predictable
+
+    def test_cycles_to_seconds(self):
+        proc = ProcessorModel("p", clock_mhz=100.0)
+        assert proc.cycles_to_seconds(100e6) == pytest.approx(1.0)
+
+    def test_presets_differ(self):
+        assert xentium_processor().cycles_for_op("*") < leon3_processor().cycles_for_op("*")
+
+
+class TestMemory:
+    def test_scratchpad_is_private_and_predictable(self):
+        spm = scratchpad("spm0", 64)
+        assert spm.private and spm.is_predictable
+        assert spm.size_bytes == 64 * 1024
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("m", MemoryKind.SCRATCHPAD, 0, 1, 1)
+        with pytest.raises(ValueError):
+            MemoryRegion("m", MemoryKind.SCRATCHPAD, 4, -1, 1)
+
+    def test_cached_dram_unpredictable_unless_locked(self):
+        cached = MemoryRegion("m", MemoryKind.CACHED_DRAM, 1024, 5, 6)
+        assert not cached.is_predictable
+        locked = MemoryRegion("m", MemoryKind.CACHED_DRAM, 1024, 5, 6, cache_locked=True)
+        assert locked.is_predictable
+
+    def test_dram_slower_than_sram(self):
+        assert external_dram().read_latency > shared_sram().read_latency
+
+
+class TestInterconnects:
+    def test_tdm_delay_independent_of_contenders(self):
+        bus = TDMBus(num_slots=4)
+        assert bus.worst_case_access_delay(0) == bus.worst_case_access_delay(3)
+
+    def test_rr_delay_grows_with_contenders(self):
+        bus = RoundRobinBus()
+        delays = [bus.worst_case_access_delay(n) for n in range(5)]
+        assert delays == sorted(delays)
+        assert delays[4] > delays[0]
+
+    def test_rr_tighter_than_tdm_at_low_contention(self):
+        rr = RoundRobinBus()
+        tdm = TDMBus(num_slots=8)
+        assert rr.worst_case_access_delay(1) < tdm.worst_case_access_delay(1)
+
+    def test_transfer_scales_with_bytes(self):
+        bus = RoundRobinBus()
+        assert bus.worst_case_transfer_delay(256, 2) > bus.worst_case_transfer_delay(64, 2)
+
+    def test_crossbar_zero_contention_is_cheap(self):
+        xbar = FullCrossbar()
+        assert xbar.worst_case_access_delay(0) == 0
+
+    def test_negative_contenders_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBus().worst_case_access_delay(-1)
+
+    @given(st.integers(0, 16), st.integers(1, 4096))
+    def test_rr_transfer_monotone_in_contenders(self, contenders, nbytes):
+        bus = RoundRobinBus()
+        assert bus.worst_case_transfer_delay(nbytes, contenders + 1) >= bus.worst_case_transfer_delay(
+            nbytes, contenders
+        )
+
+
+class TestNoC:
+    def test_xy_route_length_is_manhattan(self):
+        links = xy_route((0, 0), (2, 3))
+        assert len(links) == 5
+
+    def test_route_same_tile_empty(self):
+        assert xy_route((1, 1), (1, 1)) == []
+
+    def test_tile_coords_roundtrip(self):
+        noc = MeshNoC(width=3, height=2)
+        assert noc.tile_coords(0) == (0, 0)
+        assert noc.tile_coords(5) == (2, 1)
+        with pytest.raises(ValueError):
+            noc.tile_coords(6)
+
+    def test_latency_grows_with_distance_and_contention(self):
+        noc = MeshNoC(width=4, height=4)
+        near = noc.worst_case_packet_latency(64, 0, 1, contenders=0)
+        far = noc.worst_case_packet_latency(64, 0, 15, contenders=0)
+        assert far > near
+        quiet = noc.worst_case_packet_latency(64, 0, 15, contenders=0)
+        busy = noc.worst_case_packet_latency(64, 0, 15, contenders=6)
+        assert busy > quiet
+
+    def test_guaranteed_bandwidth_fraction(self):
+        noc = MeshNoC()
+        assert noc.guaranteed_bandwidth(2, 8) == pytest.approx(0.25)
+        assert noc.guaranteed_bandwidth(9, 8) == 1.0
+        with pytest.raises(ValueError):
+            noc.guaranteed_bandwidth(1, 0)
+
+    @given(st.integers(1, 4096), st.integers(0, 8))
+    def test_packet_latency_positive_and_monotone_in_bytes(self, nbytes, contenders):
+        noc = MeshNoC(width=3, height=3)
+        small = noc.worst_case_packet_latency(nbytes, 0, 8, contenders)
+        bigger = noc.worst_case_packet_latency(nbytes + 64, 0, 8, contenders)
+        assert small > 0
+        assert bigger >= small
+
+
+class TestPlatforms:
+    def test_generic_platform_predictable(self):
+        platform = generic_predictable_multicore(cores=4)
+        report = platform.check_predictability()
+        assert report.passed, report.violations
+        assert platform.num_cores == 4
+        assert platform.is_homogeneous()
+
+    def test_recore_platform(self):
+        platform = recore_xentium_like(dsp_cores=8, control_cores=1)
+        assert platform.num_cores == 9
+        assert not platform.is_homogeneous()
+        assert platform.check_predictability().passed
+
+    def test_kit_platform_has_noc(self):
+        platform = kit_leon3_inoc(mesh_width=2, mesh_height=2, cores_per_tile=2)
+        assert platform.num_cores == 8
+        assert platform.noc is not None
+        assert platform.check_predictability().passed
+        # cores on different tiles communicate over the NoC
+        lat_same_tile = platform.communication_latency(256, 0, 1)
+        lat_cross_tile = platform.communication_latency(256, 0, 7)
+        assert lat_cross_tile > lat_same_tile
+
+    def test_self_communication_is_free(self):
+        platform = generic_predictable_multicore(cores=2)
+        assert platform.communication_latency(128, 0, 0) == 0.0
+
+    def test_shared_latency_grows_with_contenders(self):
+        platform = generic_predictable_multicore(cores=4)
+        assert platform.shared_read_latency(3) > platform.shared_read_latency(0)
+
+    def test_unpredictable_processor_fails_audit(self):
+        proc = ProcessorModel("speculative", dynamic_branch_prediction=True, prefetcher=True)
+        cores = [Core(0, proc, scratchpad("spm0"))]
+        platform = Platform("bad", cores, shared_sram(), RoundRobinBus())
+        report = platform.check_predictability()
+        assert not report.passed
+        assert any("speculative" in v for v in report.violations)
+
+    def test_duplicate_core_ids_rejected(self):
+        proc = ProcessorModel("p")
+        cores = [Core(0, proc, scratchpad("a")), Core(0, proc, scratchpad("b"))]
+        with pytest.raises(ValueError):
+            Platform("dup", cores, shared_sram(), RoundRobinBus())
+
+    def test_core_requires_private_scratchpad(self):
+        with pytest.raises(ValueError):
+            Core(0, ProcessorModel("p"), shared_sram())
+
+    def test_platform_requires_cores_and_shared_memory(self):
+        with pytest.raises(ValueError):
+            Platform("empty", [], shared_sram(), RoundRobinBus())
+        with pytest.raises(ValueError):
+            Platform(
+                "bad",
+                [Core(0, ProcessorModel("p"), scratchpad("s"))],
+                scratchpad("private_shared"),
+                RoundRobinBus(),
+            )
+
+    def test_invalid_preset_arguments(self):
+        with pytest.raises(ValueError):
+            generic_predictable_multicore(cores=0)
+        with pytest.raises(ValueError):
+            recore_xentium_like(dsp_cores=0)
+        with pytest.raises(ValueError):
+            kit_leon3_inoc(cores_per_tile=0)

@@ -1,0 +1,117 @@
+"""Tests for the explicit parallel program model and the timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.adl.platforms import generic_predictable_multicore, kit_leon3_inoc
+from repro.frontend import compile_diagram
+from repro.htg import extract_htg
+from repro.htg.extraction import ExtractionOptions
+from repro.ir.interpreter import run_function
+from repro.parallel import build_parallel_program, parallel_program_to_c
+from repro.scheduling import WcetAwareListScheduler, sequential_schedule
+from repro.sim import simulate_parallel_program
+from repro.usecases import build_polka_diagram, polka_test_inputs
+from repro.wcet import HardwareCostModel, annotate_htg_wcets
+
+
+def build_case(platform, chunks=2):
+    diagram = build_polka_diagram(pixels=32)
+    model = compile_diagram(diagram)
+    htg = extract_htg(model, ExtractionOptions(granularity="loop", loop_chunks=chunks))
+    annotate_htg_wcets(htg, model.entry, HardwareCostModel(platform, 0))
+    schedule = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+    return model, htg, schedule
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return generic_predictable_multicore(cores=4)
+
+
+@pytest.fixture(scope="module")
+def case(platform):
+    return build_case(platform)
+
+
+class TestParallelProgram:
+    def test_build_and_validate(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        program.validate(htg)
+        assert set(program.core_programs) == set(schedule.order)
+
+    def test_cross_core_edges_have_sync(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        cross = [
+            e for e in htg.edges
+            if schedule.mapping[e.src] != schedule.mapping[e.dst]
+        ]
+        # one signal and one wait per cross-core edge
+        assert program.num_sync_ops == 2 * len(cross)
+
+    def test_memory_map_is_disjoint_and_within_capacity(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        regions = sorted(program.memory_map.values())
+        for (a_start, a_size), (b_start, _) in zip(regions, regions[1:]):
+            assert a_start + a_size <= b_start
+        total = program.shared_footprint_bytes()
+        assert total <= platform.shared_memory.size_bytes
+
+    def test_codegen_contains_cores_and_sync(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        text = parallel_program_to_c(program, htg)
+        assert "core0_main" in text
+        assert "shared memory map" in text
+        if program.num_sync_ops:
+            assert "while (!" in text
+
+    def test_sequential_program_has_no_sync(self, platform, case):
+        model, htg, _ = case
+        schedule = sequential_schedule(htg, model.entry, platform)
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        assert program.num_sync_ops == 0
+        assert program.total_comm_bytes == 0
+
+
+class TestSimulator:
+    def test_functional_result_matches_reference(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        inputs = model.run_inputs(polka_test_inputs(pixels=32, seed=1))
+        sim = simulate_parallel_program(program, htg, model.entry, platform, inputs)
+        reference = run_function(model.entry, inputs)
+        for name in model.outputs:
+            ref_value = reference.env[name]
+            sim_value = sim.env[name]
+            np.testing.assert_allclose(np.asarray(sim_value), np.asarray(ref_value), rtol=1e-9)
+
+    def test_measured_makespan_never_exceeds_bound(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        for seed in range(4):
+            inputs = model.run_inputs(polka_test_inputs(pixels=32, seed=seed, stressed=seed % 2 == 0))
+            sim = simulate_parallel_program(program, htg, model.entry, platform, inputs)
+            assert sim.makespan <= schedule.wcet_bound + 1e-6
+
+    def test_dynamic_contention_mode_runs(self, platform, case):
+        model, htg, schedule = case
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        inputs = model.run_inputs(polka_test_inputs(pixels=32, seed=2))
+        sim = simulate_parallel_program(
+            program, htg, model.entry, platform, inputs, contention="dynamic"
+        )
+        assert sim.makespan > 0
+        with pytest.raises(ValueError):
+            simulate_parallel_program(program, htg, model.entry, platform, inputs, contention="nope")
+
+    def test_noc_platform_end_to_end(self):
+        platform = kit_leon3_inoc(mesh_width=2, mesh_height=2, cores_per_tile=1)
+        model, htg, schedule = build_case(platform, chunks=2)
+        program = build_parallel_program(htg, model.entry, platform, schedule)
+        inputs = model.run_inputs(polka_test_inputs(pixels=32, seed=3))
+        sim = simulate_parallel_program(program, htg, model.entry, platform, inputs)
+        assert sim.makespan <= schedule.wcet_bound + 1e-6

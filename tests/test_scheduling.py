@@ -1,0 +1,158 @@
+"""Tests for the schedulers (list, exact, metaheuristics, baselines)."""
+
+import pytest
+
+from repro.adl.platforms import generic_predictable_multicore
+from repro.frontend import compile_diagram
+from repro.htg import extract_htg
+from repro.htg.extraction import ExtractionOptions
+from repro.model import Diagram, library
+from repro.scheduling import (
+    WcetAwareListScheduler,
+    acet_driven_schedule,
+    branch_and_bound_schedule,
+    contention_free_schedule,
+    genetic_schedule,
+    sequential_schedule,
+    simulated_annealing_schedule,
+)
+from repro.scheduling.schedule import ScheduleError
+from repro.usecases.workloads import synthetic_compiled_model
+from repro.wcet import HardwareCostModel, annotate_htg_wcets
+
+
+def make_case(num_kernels=6, chunks=2, seed=1):
+    model = synthetic_compiled_model(num_kernels=num_kernels, vector_size=32, seed=seed)
+    htg = extract_htg(model, ExtractionOptions(granularity="loop", loop_chunks=chunks))
+    platform = generic_predictable_multicore(cores=4)
+    annotate_htg_wcets(htg, model.entry, HardwareCostModel(platform, 0))
+    return model, htg, platform
+
+
+@pytest.fixture(scope="module")
+def case():
+    return make_case()
+
+
+class TestListScheduler:
+    def test_schedule_is_valid_and_analysed(self, case):
+        model, htg, platform = case
+        schedule = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        schedule.validate(htg, platform)
+        assert schedule.wcet_bound > 0
+        assert schedule.scheduler == "wcet_list"
+
+    def test_parallel_beats_sequential(self, case):
+        model, htg, platform = case
+        parallel = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        sequential = sequential_schedule(htg, model.entry, platform)
+        assert parallel.wcet_bound <= sequential.wcet_bound
+
+    def test_more_cores_never_worse_with_max_cores(self, case):
+        model, htg, platform = case
+        one = WcetAwareListScheduler(platform=platform, max_cores=1).schedule(htg, model.entry)
+        four = WcetAwareListScheduler(platform=platform, max_cores=4).schedule(htg, model.entry)
+        assert four.wcet_bound <= one.wcet_bound * 1.05
+
+    def test_bound_not_below_critical_path(self, case):
+        model, htg, platform = case
+        schedule = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        assert schedule.wcet_bound >= htg.critical_path_length() - 1e-6
+
+    def test_gantt_renders(self, case):
+        model, htg, platform = case
+        schedule = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        text = schedule.gantt()
+        assert "WCET bound" in text
+
+
+class TestBaselines:
+    def test_sequential_uses_one_core(self, case):
+        model, htg, platform = case
+        schedule = sequential_schedule(htg, model.entry, platform)
+        assert schedule.num_cores_used == 1
+        assert schedule.result.interference_cycles == 0.0
+
+    def test_acet_schedule_valid_but_usually_looser(self, case):
+        model, htg, platform = case
+        acet = acet_driven_schedule(htg, model.entry, platform)
+        wcet = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        acet.validate(htg, platform)
+        # the WCET-aware schedule can never be worse than the ACET-driven one
+        # by more than numerical noise (it optimises the reported metric)
+        assert wcet.wcet_bound <= acet.wcet_bound * 1.01
+
+    def test_contention_free_has_zero_interference(self, case):
+        model, htg, platform = case
+        schedule = contention_free_schedule(htg, model.entry, platform)
+        schedule.validate(htg, platform)
+        assert schedule.result.interference_cycles == 0.0
+
+
+class TestExactAndMetaheuristics:
+    def test_bnb_optimal_not_worse_than_heuristic(self):
+        model, htg, platform = make_case(num_kernels=4, chunks=1, seed=2)
+        heuristic = WcetAwareListScheduler(platform=platform, max_cores=2).schedule(htg, model.entry)
+        optimal, stats = branch_and_bound_schedule(htg, model.entry, platform, max_cores=2)
+        assert optimal.wcet_bound <= heuristic.wcet_bound + 1e-6
+        assert stats.nodes_explored > 0
+
+    def test_bnb_rejects_large_graphs(self, case):
+        model, htg, platform = case
+        with pytest.raises(ValueError):
+            branch_and_bound_schedule(htg, model.entry, platform, max_tasks=2)
+
+    def test_simulated_annealing_not_worse_than_start(self, case):
+        model, htg, platform = case
+        start = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        annealed = simulated_annealing_schedule(
+            htg, model.entry, platform, iterations=30, seed=5
+        )
+        annealed.validate(htg, platform)
+        assert annealed.wcet_bound <= start.wcet_bound + 1e-6
+
+    def test_genetic_produces_valid_schedule(self):
+        model, htg, platform = make_case(num_kernels=5, chunks=1, seed=3)
+        schedule = genetic_schedule(
+            htg, model.entry, platform, population_size=6, generations=4, seed=7
+        )
+        schedule.validate(htg, platform)
+        assert schedule.wcet_bound > 0
+
+    def test_metaheuristics_deterministic_given_seed(self):
+        model, htg, platform = make_case(num_kernels=5, chunks=1, seed=4)
+        a = simulated_annealing_schedule(htg, model.entry, platform, iterations=20, seed=11)
+        b = simulated_annealing_schedule(htg, model.entry, platform, iterations=20, seed=11)
+        assert a.mapping == b.mapping
+        assert a.wcet_bound == pytest.approx(b.wcet_bound)
+
+
+class TestScheduleValidation:
+    def test_incomplete_mapping_rejected(self, case):
+        model, htg, platform = case
+        schedule = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        broken = dict(schedule.mapping)
+        broken.pop(next(iter(broken)))
+        from repro.scheduling.schedule import Schedule
+
+        bad = Schedule(htg_name=htg.name, mapping=broken, order=schedule.order)
+        with pytest.raises(ScheduleError):
+            bad.validate(htg, platform)
+
+    def test_unknown_core_rejected(self, case):
+        model, htg, platform = case
+        schedule = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        from repro.scheduling.schedule import Schedule
+
+        bad_mapping = {tid: 99 for tid in schedule.mapping}
+        bad = Schedule(htg_name=htg.name, mapping=bad_mapping, order={99: list(bad_mapping)})
+        with pytest.raises(ScheduleError):
+            bad.validate(htg, platform)
+
+    def test_unanalysed_schedule_has_no_bound(self, case):
+        model, htg, platform = case
+        from repro.scheduling.schedule import Schedule
+
+        schedule = Schedule(htg_name=htg.name, mapping={}, order={})
+        with pytest.raises(ScheduleError):
+            _ = schedule.wcet_bound

@@ -1,0 +1,182 @@
+"""Tests for the mini-Scilab lexer, parser and interpreter."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.scilab import (
+    ScilabInterpreter,
+    ScilabRuntimeError,
+    ScilabSyntaxError,
+    parse_script,
+    tokenize,
+)
+from repro.model.scilab import ast
+from repro.model.scilab.ast import assigned_names, read_names
+from repro.model.scilab.lexer import TokenKind
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("y = 2.5 * x + sin(t)")
+        kinds = [t.kind for t in tokens]
+        assert TokenKind.IDENT in kinds
+        assert TokenKind.NUMBER in kinds
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_comments_stripped(self):
+        tokens = tokenize("x = 1 // a comment\ny = 2")
+        texts = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert texts == ["x", "y"]
+
+    def test_scientific_notation(self):
+        tokens = tokenize("x = 1.5e-3")
+        numbers = [t for t in tokens if t.kind is TokenKind.NUMBER]
+        assert float(numbers[0].text) == pytest.approx(1.5e-3)
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("if x then end")
+        assert [t.kind for t in tokens[:1]] == [TokenKind.KEYWORD]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ScilabSyntaxError):
+            tokenize("x = $")
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b ~= c")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert ops == ["<=", "~="]
+
+
+class TestParser:
+    def test_simple_assignment(self):
+        script = parse_script("y = 2 * u + 1")
+        assert len(script) == 1
+        stmt = script.statements[0]
+        assert isinstance(stmt, ast.Assignment)
+        assert stmt.target == "y"
+        assert not stmt.is_indexed
+
+    def test_indexed_assignment(self):
+        script = parse_script("y(i) = u(i) * k")
+        stmt = script.statements[0]
+        assert stmt.is_indexed
+        assert isinstance(stmt.value, ast.BinaryOp)
+
+    def test_for_loop_with_step(self):
+        script = parse_script("for i = 1:2:9\n  y(i) = 0\nend")
+        loop = script.statements[0]
+        assert isinstance(loop, ast.ForLoop)
+        assert loop.range.step is not None
+
+    def test_if_elseif_else(self):
+        src = (
+            "if x > 0 then\n"
+            "  y = 1\n"
+            "elseif x < 0 then\n"
+            "  y = 2\n"
+            "else\n"
+            "  y = 3\n"
+            "end"
+        )
+        stmt = parse_script(src).statements[0]
+        assert isinstance(stmt, ast.IfStatement)
+        nested = stmt.else_body[0]
+        assert isinstance(nested, ast.IfStatement)
+        assert nested.else_body
+
+    def test_operator_precedence(self):
+        stmt = parse_script("y = 1 + 2 * 3").statements[0]
+        assert isinstance(stmt.value, ast.BinaryOp)
+        assert stmt.value.op == "+"
+        assert isinstance(stmt.value.right, ast.BinaryOp)
+
+    def test_vector_literal(self):
+        stmt = parse_script("h = [0.25 0.5 0.25]").statements[0]
+        assert isinstance(stmt.value, ast.VectorLiteral)
+        assert len(stmt.value.elements) == 3
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(ScilabSyntaxError):
+            parse_script("for = 3")
+        with pytest.raises(ScilabSyntaxError):
+            parse_script("if x then y = 1")  # missing end
+
+    def test_name_analysis(self):
+        script = parse_script("acc = 0\nfor i = 1:n\n  acc = acc + u(i)\nend\ny = acc")
+        assert assigned_names(script) == {"acc", "y"}
+        assert {"n", "u", "acc"} <= read_names(script)
+
+
+class TestInterpreter:
+    def test_scalar_arithmetic(self):
+        env = ScilabInterpreter().run(parse_script("y = 2 * x + 1"), {"x": 3.0})
+        assert env["y"] == pytest.approx(7.0)
+
+    def test_builtins(self):
+        env = ScilabInterpreter().run(parse_script("y = sqrt(abs(x)) + cos(0)"), {"x": -4.0})
+        assert env["y"] == pytest.approx(3.0)
+
+    def test_pi_constant(self):
+        env = ScilabInterpreter().run(parse_script("y = sin(pi / 2)"), {})
+        assert env["y"] == pytest.approx(1.0)
+
+    def test_for_loop_accumulation(self):
+        src = "acc = 0\nfor i = 1:n\n  acc = acc + u(i)\nend\ny = acc"
+        env = ScilabInterpreter().run(parse_script(src), {"n": 4, "u": np.array([1.0, 2.0, 3.0, 4.0])})
+        assert env["y"] == pytest.approx(10.0)
+
+    def test_indexed_write_one_based(self):
+        src = "for i = 1:3\n  y(i) = 10 * i\nend"
+        env = ScilabInterpreter().run(parse_script(src), {"y": np.zeros(3)})
+        np.testing.assert_allclose(env["y"], [10.0, 20.0, 30.0])
+
+    def test_if_else(self):
+        src = "if u > 0 then\n  y = 1\nelse\n  y = 0 - 1\nend"
+        run = ScilabInterpreter().run
+        assert run(parse_script(src), {"u": 2.0})["y"] == 1
+        assert run(parse_script(src), {"u": -2.0})["y"] == -1
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(ScilabRuntimeError):
+            ScilabInterpreter().run(parse_script("y(5) = 1"), {"y": np.zeros(3)})
+        with pytest.raises(ScilabRuntimeError):
+            ScilabInterpreter().run(parse_script("x = y(0)"), {"y": np.zeros(3)})
+
+    def test_unbound_variable(self):
+        with pytest.raises(ScilabRuntimeError):
+            ScilabInterpreter().run(parse_script("y = nope + 1"), {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ScilabRuntimeError):
+            ScilabInterpreter().run(parse_script("y = 1 / x"), {"x": 0.0})
+
+    def test_indexed_assign_requires_preallocation(self):
+        with pytest.raises(ScilabRuntimeError):
+            ScilabInterpreter().run(parse_script("y(1) = 3"), {})
+
+    def test_2d_indexing(self):
+        src = "y = A(2, 3)"
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        env = ScilabInterpreter().run(parse_script(src), {"A": a})
+        assert env["y"] == pytest.approx(a[1, 2])
+
+    def test_step_range(self):
+        src = "acc = 0\nfor i = 1:2:7\n  acc = acc + i\nend"
+        env = ScilabInterpreter().run(parse_script(src), {})
+        assert env["acc"] == pytest.approx(1 + 3 + 5 + 7)
+
+    def test_inputs_not_mutated(self):
+        u = np.ones(3)
+        ScilabInterpreter().run(parse_script("u(1) = 99"), {"u": u})
+        assert u[0] == 1.0
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_saturation_property(self, x, hi):
+        hi = abs(hi) + 1.0
+        src = "y = u\nif u > hi then\n  y = hi\nend\nif u < 0 - hi then\n  y = 0 - hi\nend"
+        env = ScilabInterpreter().run(parse_script(src), {"u": x, "hi": hi})
+        assert -hi - 1e-9 <= env["y"] <= hi + 1e-9

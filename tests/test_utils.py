@@ -1,0 +1,148 @@
+"""Tests for repro.utils (rng, tables, intervals, graph helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    Interval,
+    Table,
+    intervals_overlap,
+    is_acyclic,
+    longest_path_length,
+    make_rng,
+    topological_order,
+    transitive_closure,
+)
+from repro.utils.intervals import total_busy_time
+from repro.utils.rng import derive_rng
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        a = make_rng().integers(0, 1000, size=10)
+        b = make_rng().integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed_changes_stream(self):
+        a = make_rng(1).integers(0, 1000, size=10)
+        b = make_rng(2).integers(0, 1000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_is_deterministic(self):
+        a = derive_rng(make_rng(7), salt=3).integers(0, 1000, size=5)
+        b = derive_rng(make_rng(7), salt=3).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_derive_rng_differs_by_salt(self):
+        parent = make_rng(7)
+        a = derive_rng(parent, salt=1).integers(0, 1000, size=5)
+        parent = make_rng(7)
+        b = derive_rng(parent, salt=2).integers(0, 1000, size=5)
+        assert not np.array_equal(a, b)
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        table = Table(["app", "cores", "wcet"], title="E2")
+        table.add_row(["egpws", 4, 123.456])
+        text = table.render()
+        assert "E2" in text
+        assert "app" in text and "cores" in text
+        assert "egpws" in text
+        assert "123.456" in text
+
+    def test_row_arity_mismatch_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_alignment_is_stable(self):
+        table = Table(["name", "x"])
+        table.add_row(["longer-name", 1])
+        table.add_row(["s", 22])
+        lines = table.render().splitlines()
+        # all data/header lines have the separator at the same position
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+
+class TestInterval:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 1.0)
+
+    def test_overlap_basic(self):
+        assert intervals_overlap(Interval(0, 10), Interval(5, 15))
+        assert not intervals_overlap(Interval(0, 10), Interval(10, 20))
+
+    def test_intersection(self):
+        inter = Interval(0, 10).intersection(Interval(5, 15))
+        assert inter == Interval(5, 10)
+        assert Interval(0, 5).intersection(Interval(5, 10)) is None
+
+    def test_shift_and_contains(self):
+        iv = Interval(1, 3).shifted(2)
+        assert iv == Interval(3, 5)
+        assert iv.contains(3) and not iv.contains(5)
+
+    def test_total_busy_time_merges_overlaps(self):
+        busy = total_busy_time([Interval(0, 5), Interval(3, 8), Interval(10, 12)])
+        assert busy == pytest.approx(10.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+                lambda t: Interval(min(t), max(t))
+            ),
+            max_size=20,
+        )
+    )
+    def test_busy_time_bounded_by_sum_and_span(self, intervals):
+        busy = total_busy_time(intervals)
+        assert busy <= sum(iv.length for iv in intervals) + 1e-9
+        if intervals:
+            span = max(iv.end for iv in intervals) - min(iv.start for iv in intervals)
+            assert busy <= span + 1e-9
+
+
+class TestGraphs:
+    def test_topological_order_respects_edges(self):
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b"), ("b", "c"), ("a", "d")]
+        order = topological_order(nodes, edges)
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert order.index("a") < order.index("d")
+
+    def test_topological_order_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            topological_order(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_is_acyclic(self):
+        assert is_acyclic([("a", "b"), ("b", "c")])
+        assert not is_acyclic([("a", "b"), ("b", "a")])
+
+    def test_longest_path_node_weights(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        weights = {"a": 5.0, "b": 10.0, "c": 1.0}
+        assert longest_path_length(nodes, edges, weights) == pytest.approx(16.0)
+
+    def test_longest_path_edge_weights(self):
+        nodes = ["a", "b"]
+        edges = [("a", "b")]
+        length = longest_path_length(nodes, edges, {"a": 1.0, "b": 1.0}, lambda u, v: 10.0)
+        assert length == pytest.approx(12.0)
+
+    def test_transitive_closure(self):
+        closure = transitive_closure(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert ("a", "c") in closure
+        assert ("c", "a") not in closure
+
+    @given(st.integers(2, 8), st.integers(0, 42))
+    def test_longest_path_at_least_max_node_weight(self, n, seed):
+        rng = np.random.default_rng(seed)
+        nodes = list(range(n))
+        edges = [(i, j) for i in nodes for j in nodes if i < j and rng.random() < 0.4]
+        weights = {i: float(rng.integers(1, 10)) for i in nodes}
+        assert longest_path_length(nodes, edges, weights) >= max(weights.values()) - 1e-9
