@@ -1,0 +1,124 @@
+"""Driver running every ``bench_eN`` experiment and recording a perf trace.
+
+Each experiment module is executed through pytest in its own subprocess (so a
+crashing experiment cannot take down the sweep) and timed; the results are
+written to a ``BENCH_<tag>.json`` record::
+
+    python benchmarks/run_all.py                 # all experiments -> BENCH_results.json
+    python benchmarks/run_all.py --only e2 e11   # a subset
+    python benchmarks/run_all.py --tag nightly   # -> BENCH_nightly.json
+
+The JSON record holds one entry per experiment (wall-clock seconds, pytest
+exit status) plus environment metadata, giving the repository a perf
+trajectory across PRs instead of an empty bench history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_module
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover_benchmarks() -> list[Path]:
+    """All ``bench_eN_*.py`` modules, ordered by experiment number."""
+
+    def experiment_number(path: Path) -> int:
+        match = re.match(r"bench_e(\d+)", path.name)
+        return int(match.group(1)) if match else 10**6
+
+    return sorted(BENCH_DIR.glob("bench_e*.py"), key=experiment_number)
+
+
+def run_benchmark(path: Path, pytest_args: list[str]) -> dict:
+    """Run one experiment module under pytest and time it."""
+    cmd = [sys.executable, "-m", "pytest", str(path), "-q", *pytest_args]
+    started = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
+    seconds = time.perf_counter() - started
+    # last pytest summary line, e.g. "3 passed in 12.34s"
+    summary = ""
+    for line in reversed(proc.stdout.splitlines()):
+        if line.strip():
+            summary = line.strip()
+            break
+    return {
+        "module": path.stem,
+        "seconds": round(seconds, 3),
+        "returncode": proc.returncode,
+        "passed": proc.returncode == 0,
+        "summary": summary,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="EXPR",
+        help="run only experiments whose name contains one of these substrings (e.g. e2 e11)",
+    )
+    parser.add_argument(
+        "--tag",
+        default="results",
+        help="suffix of the emitted BENCH_<tag>.json record (default: results)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory the record is written to (default: repository root)",
+    )
+    parser.add_argument(
+        "--pytest-args",
+        nargs=argparse.REMAINDER,
+        default=[],
+        help="extra arguments forwarded to pytest",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = discover_benchmarks()
+    if args.only:
+        benchmarks = [
+            p for p in benchmarks if any(token in p.stem for token in args.only)
+        ]
+    if not benchmarks:
+        print("no benchmark modules matched", file=sys.stderr)
+        return 2
+
+    results = []
+    for path in benchmarks:
+        print(f"[run_all] {path.stem} ...", flush=True)
+        record = run_benchmark(path, args.pytest_args)
+        status = "ok" if record["passed"] else f"FAILED (rc={record['returncode']})"
+        print(f"[run_all]   {status} in {record['seconds']:.1f}s  ({record['summary']})")
+        results.append(record)
+
+    record = {
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform_module.platform(),
+        "total_seconds": round(sum(r["seconds"] for r in results), 3),
+        "all_passed": all(r["passed"] for r in results),
+        "results": results,
+    }
+    out_path = args.out_dir / f"BENCH_{args.tag}.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[run_all] wrote {out_path} ({len(results)} experiments, "
+          f"{record['total_seconds']:.1f}s total)")
+    return 0 if record["all_passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,7 +71,13 @@ class CrossLayerFeedback:
         for iteration in range(1, iterations + 1):
             improved = False
             for candidate in self._candidates(best_config, iteration):
-                chain = ArgoToolchain(self.toolchain.platform, candidate)
+                # Every candidate chain shares the driver's analysis cache:
+                # cache entries are content addressed, so candidates whose
+                # transforms leave (parts of) the IR unchanged reuse the
+                # code-level analyses of earlier iterations for free.
+                chain = ArgoToolchain(
+                    self.toolchain.platform, candidate, wcet_cache=self.toolchain.wcet_cache
+                )
                 result = chain.run_once(diagram)
                 accepted = best_result is None or result.system_wcet < best_result.system_wcet
                 self.history.append(

@@ -42,6 +42,7 @@ from repro.transforms import (
 )
 from repro.transforms.base import PassReport
 from repro.wcet import HardwareCostModel, annotate_htg_wcets
+from repro.wcet.cache import WcetAnalysisCache
 from repro.wcet.code_level import analyze_function_wcet
 
 
@@ -81,9 +82,18 @@ class ToolchainResult:
 class ArgoToolchain:
     """Facade running the whole flow for one target platform."""
 
-    def __init__(self, platform: Platform, config: ToolchainConfig | None = None) -> None:
+    def __init__(
+        self,
+        platform: Platform,
+        config: ToolchainConfig | None = None,
+        wcet_cache: WcetAnalysisCache | None = None,
+    ) -> None:
         self.platform = platform
         self.config = config or ToolchainConfig()
+        #: Memo of code-level analyses shared by every stage of this chain
+        #: (and, via the feedback optimizer, across candidate configurations:
+        #: entries are content addressed, so unchanged IR hits the cache).
+        self.wcet_cache = wcet_cache if wcet_cache is not None else WcetAnalysisCache()
         report = platform.check_predictability()
         if not report.passed:
             raise ToolchainError(
@@ -133,33 +143,38 @@ class ArgoToolchain:
         )
         htg = extract_htg(model, options)
         cost_model = HardwareCostModel(self.platform, self.platform.cores[0].core_id)
-        annotate_htg_wcets(htg, model.entry, cost_model)
+        annotate_htg_wcets(htg, model.entry, cost_model, cache=self.wcet_cache)
         return htg
 
     def schedule_tasks(self, htg: HierarchicalTaskGraph, model: CompiledModel) -> Schedule:
         scheduler = self.config.scheduler
         function = model.entry
         if scheduler == "sequential":
-            return sequential_schedule(htg, function, self.platform)
+            return sequential_schedule(htg, function, self.platform, cache=self.wcet_cache)
         if scheduler == "acet_list":
-            return acet_driven_schedule(htg, function, self.platform, self.config.max_cores)
+            return acet_driven_schedule(
+                htg, function, self.platform, self.config.max_cores, cache=self.wcet_cache
+            )
         if scheduler == "simulated_annealing":
             return simulated_annealing_schedule(
-                htg, function, self.platform, self.config.max_cores, seed=self.config.seed
+                htg, function, self.platform, self.config.max_cores, seed=self.config.seed,
+                cache=self.wcet_cache,
             )
         if scheduler == "genetic":
             return genetic_schedule(
-                htg, function, self.platform, self.config.max_cores, seed=self.config.seed
+                htg, function, self.platform, self.config.max_cores, seed=self.config.seed,
+                cache=self.wcet_cache,
             )
         if scheduler == "bnb":
             schedule, _ = branch_and_bound_schedule(
-                htg, function, self.platform, self.config.max_cores
+                htg, function, self.platform, self.config.max_cores, cache=self.wcet_cache
             )
             return schedule
         return WcetAwareListScheduler(
             platform=self.platform,
             contention_weight=self.config.contention_weight,
             max_cores=self.config.max_cores,
+            cache=self.wcet_cache,
         ).schedule(htg, function)
 
     # ------------------------------------------------------------------ #
@@ -179,7 +194,9 @@ class ArgoToolchain:
         parallel_program = build_parallel_program(htg, model.entry, self.platform, schedule)
 
         sequential_bound = analyze_function_wcet(
-            model.entry, HardwareCostModel(self.platform, self.platform.cores[0].core_id)
+            model.entry,
+            HardwareCostModel(self.platform, self.platform.cores[0].core_id),
+            cache=self.wcet_cache,
         ).total
 
         result = ToolchainResult(

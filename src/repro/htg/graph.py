@@ -25,17 +25,54 @@ class TaskEdge:
 
 @dataclass
 class HierarchicalTaskGraph:
-    """A DAG of tasks with loop-hierarchy bookkeeping."""
+    """A DAG of tasks with loop-hierarchy bookkeeping.
+
+    Adjacency queries (:meth:`predecessors`, :meth:`successors`,
+    :meth:`edge`) are served from memoized indexes, so they are O(1)
+    dictionary lookups instead of edge-list scans -- the schedulers and the
+    system-level analysis query them in their innermost loops.  The indexes
+    are maintained incrementally by :meth:`add_task` / :meth:`add_edge`,
+    which are therefore the *only* supported way to grow the graph: mutating
+    the public ``tasks`` / ``edges`` containers directly would leave the
+    indexes stale.
+    """
 
     name: str
     tasks: dict[str, Task] = field(default_factory=dict)
     edges: list[TaskEdge] = field(default_factory=list)
+    _edge_index: dict[tuple[str, str], TaskEdge] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pred_index: dict[str, list[str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _succ_index: dict[str, list[str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------ #
+    def _ensure_indexes(self) -> None:
+        if self._edge_index is not None:
+            return
+        edge_index: dict[tuple[str, str], TaskEdge] = {}
+        pred_index: dict[str, list[str]] = {tid: [] for tid in self.tasks}
+        succ_index: dict[str, list[str]] = {tid: [] for tid in self.tasks}
+        for e in self.edges:
+            edge_index[(e.src, e.dst)] = e
+            pred_index.setdefault(e.dst, []).append(e.src)
+            succ_index.setdefault(e.src, []).append(e.dst)
+        self._edge_index = edge_index
+        self._pred_index = pred_index
+        self._succ_index = succ_index
 
     # ------------------------------------------------------------------ #
     def add_task(self, task: Task) -> Task:
         if task.task_id in self.tasks:
             raise ValueError(f"duplicate task id {task.task_id!r}")
         self.tasks[task.task_id] = task
+        if self._pred_index is not None:
+            self._pred_index.setdefault(task.task_id, [])
+            self._succ_index.setdefault(task.task_id, [])
         return task
 
     def add_edge(self, src: str, dst: str, payload_bytes: int = 0, variables: tuple[str, ...] = ()) -> TaskEdge:
@@ -43,11 +80,15 @@ class HierarchicalTaskGraph:
             raise KeyError(f"edge {src}->{dst} references unknown tasks")
         if src == dst:
             raise ValueError("self-dependences are not allowed")
-        for existing in self.edges:
-            if existing.src == src and existing.dst == dst:
-                return existing
+        self._ensure_indexes()
+        existing = self._edge_index.get((src, dst))
+        if existing is not None:
+            return existing
         edge = TaskEdge(src, dst, payload_bytes, variables)
         self.edges.append(edge)
+        self._edge_index[(src, dst)] = edge
+        self._pred_index.setdefault(dst, []).append(src)
+        self._succ_index.setdefault(src, []).append(dst)
         return edge
 
     # ------------------------------------------------------------------ #
@@ -58,16 +99,16 @@ class HierarchicalTaskGraph:
         return [(e.src, e.dst) for e in self.edges]
 
     def predecessors(self, task_id: str) -> list[str]:
-        return [e.src for e in self.edges if e.dst == task_id]
+        self._ensure_indexes()
+        return list(self._pred_index.get(task_id, ()))
 
     def successors(self, task_id: str) -> list[str]:
-        return [e.dst for e in self.edges if e.src == task_id]
+        self._ensure_indexes()
+        return list(self._succ_index.get(task_id, ()))
 
     def edge(self, src: str, dst: str) -> TaskEdge | None:
-        for e in self.edges:
-            if e.src == src and e.dst == dst:
-                return e
-        return None
+        self._ensure_indexes()
+        return self._edge_index.get((src, dst))
 
     def validate(self) -> None:
         if not is_acyclic(self.edge_pairs(), self.tasks.keys()):

@@ -20,20 +20,31 @@ from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
+from repro.wcet.cache import WcetAnalysisCache
 
 
 def sequential_schedule(
-    htg: HierarchicalTaskGraph, function: Function, platform: Platform, core_id: int | None = None
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    core_id: int | None = None,
+    cache: WcetAnalysisCache | None = None,
 ) -> Schedule:
     """All tasks on a single core, in topological order."""
     core = core_id if core_id is not None else platform.cores[0].core_id
     mapping = {t.task_id: core for t in htg.leaf_tasks()}
-    schedule = evaluate_mapping(htg, function, platform, mapping, scheduler="sequential")
+    schedule = evaluate_mapping(
+        htg, function, platform, mapping, scheduler="sequential", cache=cache
+    )
     return schedule
 
 
 def acet_driven_schedule(
-    htg: HierarchicalTaskGraph, function: Function, platform: Platform, max_cores: int | None = None
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    max_cores: int | None = None,
+    cache: WcetAnalysisCache | None = None,
 ) -> Schedule:
     """List scheduling driven by average-case costs, contention-oblivious.
 
@@ -47,6 +58,7 @@ def acet_driven_schedule(
         contention_weight=0.0,
         max_cores=max_cores,
         use_average_costs=True,
+        cache=cache,
     )
     schedule = scheduler.schedule(htg, function)
     schedule.scheduler = "acet_list"
@@ -54,7 +66,11 @@ def acet_driven_schedule(
 
 
 def contention_free_schedule(
-    htg: HierarchicalTaskGraph, function: Function, platform: Platform, max_cores: int | None = None
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    platform: Platform,
+    max_cores: int | None = None,
+    cache: WcetAnalysisCache | None = None,
 ) -> Schedule:
     """Parallel schedule in which shared-memory tasks never overlap.
 
@@ -64,7 +80,10 @@ def contention_free_schedule(
     by the WCET-aware list scheduler.  The resulting system-level analysis
     sees zero contenders for every task.
     """
-    base = WcetAwareListScheduler(platform=platform, max_cores=max_cores).schedule(htg, function)
+    cache = cache if cache is not None else WcetAnalysisCache()
+    base = WcetAwareListScheduler(
+        platform=platform, max_cores=max_cores, cache=cache
+    ).schedule(htg, function)
     mapping = dict(base.mapping)
 
     # Re-derive a per-core order where all shared-access tasks follow one
@@ -80,5 +99,7 @@ def contention_free_schedule(
     exclusive_core = core_ids[0]
     for tid in shared_tasks:
         mapping[tid] = exclusive_core
-    schedule = evaluate_mapping(htg, function, platform, mapping, scheduler="contention_free")
+    schedule = evaluate_mapping(
+        htg, function, platform, mapping, scheduler="contention_free", cache=cache
+    )
     return schedule

@@ -15,6 +15,7 @@ from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.schedule import Schedule, evaluate_mapping
+from repro.wcet.cache import WcetAnalysisCache
 from repro.wcet.code_level import analyze_task_wcet
 from repro.wcet.hardware_model import HardwareCostModel
 
@@ -34,6 +35,7 @@ def branch_and_bound_schedule(
     platform: Platform,
     max_cores: int | None = None,
     max_tasks: int = 14,
+    cache: WcetAnalysisCache | None = None,
 ) -> tuple[Schedule, BnBStats]:
     """Find the mapping with the smallest system-level WCET bound.
 
@@ -49,9 +51,11 @@ def branch_and_bound_schedule(
     if max_cores is not None:
         core_ids = core_ids[:max_cores]
 
+    cache = cache if cache is not None else WcetAnalysisCache()
     model = HardwareCostModel(platform, core_ids[0])
     wcets = {
-        t.task_id: analyze_task_wcet(t, function, model).total for t in leaf_tasks
+        t.task_id: analyze_task_wcet(t, function, model, cache=cache).total
+        for t in leaf_tasks
     }
     total_work = sum(wcets.values())
 
@@ -75,7 +79,9 @@ def branch_and_bound_schedule(
         stats.nodes_explored += 1
         if index == len(order):
             stats.leaves_evaluated += 1
-            schedule = evaluate_mapping(htg, function, platform, mapping, scheduler="bnb")
+            schedule = evaluate_mapping(
+                htg, function, platform, mapping, scheduler="bnb", cache=cache
+            )
             if schedule.wcet_bound < best_bound:
                 best_bound = schedule.wcet_bound
                 best_schedule = schedule

@@ -17,6 +17,7 @@ from repro.ir.program import Function
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
 from repro.utils.rng import make_rng
+from repro.wcet.cache import WcetAnalysisCache
 
 
 def _core_ids(platform: Platform, max_cores: int | None) -> list[int]:
@@ -32,16 +33,22 @@ def simulated_annealing_schedule(
     iterations: int = 200,
     initial_temperature: float = 0.2,
     seed: int | None = None,
+    cache: WcetAnalysisCache | None = None,
 ) -> Schedule:
     """Simulated annealing over task-to-core mappings.
 
     Starts from the WCET-aware list schedule and explores single-task moves;
     the acceptance temperature is expressed as a fraction of the current
-    bound so the schedule scale does not need tuning.
+    bound so the schedule scale does not need tuning.  All candidate
+    evaluations share one analysis cache, so only the first evaluation pays
+    the code-level analysis cost.
     """
     rng = make_rng(seed)
+    cache = cache if cache is not None else WcetAnalysisCache()
     core_ids = _core_ids(platform, max_cores)
-    current = WcetAwareListScheduler(platform=platform, max_cores=max_cores).schedule(htg, function)
+    current = WcetAwareListScheduler(
+        platform=platform, max_cores=max_cores, cache=cache
+    ).schedule(htg, function)
     best = current
     task_ids = [t.task_id for t in htg.leaf_tasks()]
     if len(core_ids) == 1 or len(task_ids) <= 1:
@@ -60,7 +67,8 @@ def simulated_annealing_schedule(
         candidate_mapping = dict(current_mapping)
         candidate_mapping[tid] = new_core
         candidate = evaluate_mapping(
-            htg, function, platform, candidate_mapping, scheduler="simulated_annealing"
+            htg, function, platform, candidate_mapping, scheduler="simulated_annealing",
+            cache=cache,
         )
         delta = candidate.wcet_bound - current_bound
         accept = delta <= 0
@@ -87,13 +95,17 @@ def genetic_schedule(
     generations: int = 15,
     mutation_rate: float = 0.15,
     seed: int | None = None,
+    cache: WcetAnalysisCache | None = None,
 ) -> Schedule:
     """A small genetic algorithm over mappings (tournament selection,
     single-point crossover, per-gene mutation)."""
     rng = make_rng(seed)
+    cache = cache if cache is not None else WcetAnalysisCache()
     core_ids = _core_ids(platform, max_cores)
     task_ids = [t.task_id for t in htg.leaf_tasks()]
-    seeded = WcetAwareListScheduler(platform=platform, max_cores=max_cores).schedule(htg, function)
+    seeded = WcetAwareListScheduler(
+        platform=platform, max_cores=max_cores, cache=cache
+    ).schedule(htg, function)
     if len(core_ids) == 1 or len(task_ids) <= 1:
         seeded.scheduler = "genetic"
         return seeded
@@ -108,7 +120,9 @@ def genetic_schedule(
         return {tid: core_ids[g] for tid, g in zip(task_ids, genome)}
 
     def fitness(genome: list[int]) -> tuple[float, Schedule]:
-        schedule = evaluate_mapping(htg, function, platform, mapping_of(genome), scheduler="genetic")
+        schedule = evaluate_mapping(
+            htg, function, platform, mapping_of(genome), scheduler="genetic", cache=cache
+        )
         return schedule.wcet_bound, schedule
 
     population = [genome_of(seeded.mapping)] + [random_genome() for _ in range(population_size - 1)]

@@ -8,6 +8,7 @@ from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.utils.intervals import Interval, total_busy_time
+from repro.wcet.cache import WcetAnalysisCache
 from repro.wcet.system_level import SystemWcetResult, system_level_wcet
 
 
@@ -115,10 +116,11 @@ def evaluate_mapping(
     mapping: dict[str, int],
     order: dict[int, list[str]] | None = None,
     scheduler: str = "",
+    cache: WcetAnalysisCache | None = None,
 ) -> Schedule:
     """Run the system-level WCET analysis on a mapping and wrap it."""
     order = order or default_core_order(htg, mapping)
-    result = system_level_wcet(htg, function, platform, mapping, order)
+    result = system_level_wcet(htg, function, platform, mapping, order, cache=cache)
     return Schedule(
         htg_name=htg.name,
         mapping=dict(mapping),

@@ -8,15 +8,42 @@
 * :mod:`repro.wcet.system_level` adds shared-resource interference based on a
   may-happen-in-parallel analysis of the scheduled parallel program and the
   platform's interconnect cost model, iterated to a fixed point.
+* :mod:`repro.wcet.cache` memoizes code-level results so the schedulers, the
+  system-level fixed point and the cross-layer feedback loop analyse each
+  distinct (code region, core cost signature) pair exactly once.
+
+Cache-invalidation contract
+---------------------------
+:class:`~repro.wcet.cache.WcetAnalysisCache` entries are **content
+addressed** (function + region fingerprints, hardware cost signature,
+average/worst flag), so a cache can safely be shared across schedulers,
+analyses, toolchain runs and feedback iterations: changed IR or a different
+platform simply produces different keys, and unchanged IR hits the cache.
+Only two situations require explicit action from callers:
+
+* **IR transforms that mutate a function in place** (e.g. running a
+  ``PassManager`` after code has already been analysed) must be followed by
+  ``cache.invalidate_function(function)``, which drops the memoized
+  object-identity fingerprints so they are recomputed from the new contents.
+  The toolchain runs all transforms *before* the first analysis and the
+  feedback loop recompiles the model per candidate (fresh objects), so
+  neither needs this.
+* **Platform or processor objects mutated in place** require
+  ``cache.clear()`` -- their identity is part of the cost signature.  The
+  supported style is to build a fresh :class:`~repro.adl.architecture.Platform`
+  instead, which needs no invalidation at all.
 """
 
 from repro.wcet.hardware_model import HardwareCostModel
+from repro.wcet.cache import CacheStats, WcetAnalysisCache
 from repro.wcet.code_level import analyze_function_wcet, analyze_task_wcet, annotate_htg_wcets
 from repro.wcet.ipet import ipet_wcet
 from repro.wcet.system_level import SystemWcetResult, system_level_wcet
 
 __all__ = [
     "HardwareCostModel",
+    "CacheStats",
+    "WcetAnalysisCache",
     "analyze_function_wcet",
     "analyze_task_wcet",
     "annotate_htg_wcets",

@@ -1,0 +1,221 @@
+"""Memoized code-level WCET analysis shared across the whole flow.
+
+Every layer of the ARGO flow re-derives the same isolated task WCETs: the
+list scheduler analyses each (task, candidate core) pair during placement,
+the system-level fixed point re-analyses the mapped tasks, and the
+metaheuristic / branch-and-bound mappers re-evaluate thousands of complete
+mappings.  :class:`WcetAnalysisCache` memoizes those code-level results so
+each distinct analysis is performed exactly once per process.
+
+Cache keys are **content addressed**: an entry is keyed by
+
+* the fingerprint of the enclosing function (declarations with their storage
+  classes plus the whole body, rendered through the C printer),
+* the fingerprint of the analysed statement region (a task's statements or
+  the function body),
+* the cost signature of the hardware model (platform identity, processor
+  identity, scratchpad latencies and any storage overrides), and
+* the average/worst-case flag.
+
+Because entries are content addressed they can never go stale: changing the
+IR or analysing a different platform simply produces different keys.  On
+homogeneous platforms, cores sharing one processor model also share cache
+entries, so a k-core placement loop costs a single analysis per task.
+
+Invalidation contract
+---------------------
+The only mutable state is the *fingerprint memo* mapping live ``Function`` /
+statement objects (by identity) to their fingerprints, which avoids
+re-rendering the IR on every query.  Two situations require cooperation from
+the caller:
+
+1. **In-place IR mutation.**  If a function (or a task's statement block) is
+   mutated after it has been analysed -- e.g. by running an IR transform --
+   call :meth:`WcetAnalysisCache.invalidate_function` so the memoized
+   fingerprint is recomputed.  The toolchain runs all transforms *before*
+   the first analysis, so it never needs to do this.
+2. **In-place platform mutation.**  Platform and processor objects are
+   treated as immutable (their ``id`` is part of the model signature).
+   Mutating one in place requires :meth:`WcetAnalysisCache.clear` (or simply
+   building a fresh ``Platform``, which is the supported style).
+
+Everything else -- new functions, new platforms, new storage overrides,
+feedback iterations that recompile the model -- is handled transparently:
+unchanged IR hits the cache, changed IR misses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+from repro.htg.graph import HierarchicalTaskGraph
+from repro.htg.task import Task
+from repro.ir.printer import function_to_c, to_c
+from repro.ir.program import Function
+from repro.ir.statements import Block
+from repro.wcet.code_level import WcetBreakdown, statement_wcet
+from repro.wcet.hardware_model import HardwareCostModel
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`WcetAnalysisCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%})"
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class WcetAnalysisCache:
+    """Process-wide memo of code-level WCET analyses (see module docstring)."""
+
+    stats: CacheStats = field(default_factory=CacheStats)
+    #: content-key -> analysed breakdown (never stale; see module docstring)
+    _entries: dict[tuple, WcetBreakdown] = field(default_factory=dict, repr=False)
+    #: id(Function) -> (pinned function, fingerprint)
+    _function_fps: dict[int, tuple[Function, str]] = field(default_factory=dict, repr=False)
+    #: id(Block) -> (pinned block, fingerprint)
+    _region_fps: dict[int, tuple[Block, str]] = field(default_factory=dict, repr=False)
+    #: pins keeping platform/processor objects alive while their ids key entries
+    _model_pins: dict[int, object] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def _function_fingerprint(self, function: Function) -> str:
+        key = id(function)
+        cached = self._function_fps.get(key)
+        if cached is None:
+            cached = (function, _digest(function_to_c(function)))
+            self._function_fps[key] = cached
+        return cached[1]
+
+    def _region_fingerprint(self, region: Block) -> str:
+        key = id(region)
+        cached = self._region_fps.get(key)
+        if cached is None:
+            cached = (region, _digest(to_c(region)))
+            self._region_fps[key] = cached
+        return cached[1]
+
+    def model_signature(self, model: HardwareCostModel) -> tuple:
+        """Cost-relevant identity of a hardware model.
+
+        Uses object identities for the platform and processor (pinned so the
+        ids stay valid) plus the per-core scratchpad latencies, so identical
+        cores of a homogeneous platform share entries.
+        """
+        platform = model.platform
+        core = platform.core(model.core_id)
+        self._model_pins.setdefault(id(platform), platform)
+        self._model_pins.setdefault(id(core.processor), core.processor)
+        override = tuple(
+            sorted((name, storage.name) for name, storage in model.storage_override.items())
+        )
+        return (
+            id(platform),
+            id(core.processor),
+            float(core.scratchpad.read_latency),
+            float(core.scratchpad.write_latency),
+            override,
+        )
+
+    # ------------------------------------------------------------------ #
+    def region_wcet(
+        self,
+        region: Block,
+        function: Function,
+        model: HardwareCostModel,
+        average: bool = False,
+    ) -> WcetBreakdown:
+        """Memoized :func:`~repro.wcet.code_level.statement_wcet` of a region."""
+        key = (
+            self._function_fingerprint(function),
+            self._region_fingerprint(region),
+            self.model_signature(model),
+            average,
+        )
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            entry = statement_wcet(region, function, model, average)
+            self._entries[key] = entry
+        else:
+            self.stats.hits += 1
+        # hand out a copy so callers can never corrupt the cached entry
+        return replace(entry)
+
+    def task_wcet(
+        self,
+        task: Task,
+        function: Function,
+        model: HardwareCostModel,
+        average: bool = False,
+    ) -> WcetBreakdown:
+        """Memoized isolated WCET of one HTG task."""
+        return self.region_wcet(task.statements, function, model, average)
+
+    def function_wcet(
+        self, function: Function, model: HardwareCostModel, average: bool = False
+    ) -> WcetBreakdown:
+        """Memoized isolated WCET of a whole function body."""
+        return self.region_wcet(function.body, function, model, average)
+
+    def annotate_htg(
+        self,
+        htg: HierarchicalTaskGraph,
+        function: Function,
+        model: HardwareCostModel,
+        acet_model: HardwareCostModel | None = None,
+    ) -> None:
+        """Cached counterpart of :func:`~repro.wcet.code_level.annotate_htg_wcets`."""
+        for task in htg.tasks.values():
+            if task.is_synthetic:
+                task.wcet = 0.0
+                task.acet = 0.0
+                continue
+            task.wcet = self.task_wcet(task, function, model).total
+            acet = self.task_wcet(task, function, acet_model or model, average=True).total
+            task.acet = min(acet, task.wcet)
+
+    # ------------------------------------------------------------------ #
+    def invalidate_function(self, function: Function) -> None:
+        """Forget memoized fingerprints after an in-place IR mutation.
+
+        Content-addressed entries themselves stay valid (the mutated IR will
+        simply produce new keys); only the identity -> fingerprint memos must
+        be dropped so they are recomputed from the new contents.
+        """
+        self._function_fps.pop(id(function), None)
+        self._region_fps.pop(id(function.body), None)
+        for stmt in function.body.walk():
+            if isinstance(stmt, Block):
+                self._region_fps.pop(id(stmt), None)
+
+    def clear(self) -> None:
+        """Drop every entry, fingerprint memo and pin (stats are kept)."""
+        self._entries.clear()
+        self._function_fps.clear()
+        self._region_fps.clear()
+        self._model_pins.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        """An empty cache is still a cache (``len`` would make it falsy)."""
+        return True

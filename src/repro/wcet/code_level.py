@@ -16,6 +16,7 @@ loop-free code (a property the test suite cross-checks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task
@@ -33,6 +34,9 @@ from repro.ir.statements import (
     While,
 )
 from repro.wcet.hardware_model import HardwareCostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wcet.cache import WcetAnalysisCache
 
 
 @dataclass
@@ -153,16 +157,27 @@ def statement_wcet(
 
 
 def analyze_function_wcet(
-    function: Function, model: HardwareCostModel, average: bool = False
+    function: Function,
+    model: HardwareCostModel,
+    average: bool = False,
+    cache: "WcetAnalysisCache | None" = None,
 ) -> WcetBreakdown:
     """Isolated WCET (or average-case estimate) of a whole function body."""
+    if cache is not None:
+        return cache.function_wcet(function, model, average)
     return statement_wcet(function.body, function, model, average)
 
 
 def analyze_task_wcet(
-    task: Task, function: Function, model: HardwareCostModel, average: bool = False
+    task: Task,
+    function: Function,
+    model: HardwareCostModel,
+    average: bool = False,
+    cache: "WcetAnalysisCache | None" = None,
 ) -> WcetBreakdown:
     """Isolated WCET of one HTG task (its statement region)."""
+    if cache is not None:
+        return cache.task_wcet(task, function, model, average)
     return statement_wcet(task.statements, function, model, average)
 
 
@@ -171,6 +186,7 @@ def annotate_htg_wcets(
     function: Function,
     model: HardwareCostModel,
     acet_model: HardwareCostModel | None = None,
+    cache: "WcetAnalysisCache | None" = None,
 ) -> None:
     """Fill in ``task.wcet`` (and ``task.acet``) for every task of the HTG.
 
@@ -179,6 +195,9 @@ def annotate_htg_wcets(
     homogeneous platforms and conservative when the chosen core is the
     slowest one.
     """
+    if cache is not None:
+        cache.annotate_htg(htg, function, model, acet_model)
+        return
     for task in htg.tasks.values():
         if task.is_synthetic:
             task.wcet = 0.0

@@ -128,10 +128,18 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
     if not result.success:
         raise IpetError(f"IPET LP failed for {function.name!r}: {result.message}")
 
-    block_counts: dict[int, float] = {cfg.entry.bid: 1.0}
+    # Every block defaults to 0.0 so consumers never KeyError on blocks the
+    # worst-case path does not reach; counts are the sum of incoming edges.
+    block_counts: dict[int, float] = {block.bid: 0.0 for block in cfg.blocks}
     for edge in edges:
         count = float(result.x[edge_index[id(edge)]])
-        block_counts[edge.dst.bid] = block_counts.get(edge.dst.bid, 0.0) + count
+        block_counts[edge.dst.bid] += count
+    # The entry block executes once on function entry.  Only seed that count
+    # when no edge flows into the entry: a back edge targeting the entry has
+    # already been accumulated above, and seeding on top of it would double
+    # count the entry block.
+    if block_counts[cfg.entry.bid] == 0.0:
+        block_counts[cfg.entry.bid] = 1.0
 
     wcet = -float(result.fun) + entry_cost
     return IpetResult(wcet=wcet, block_counts=block_counts, cfg=cfg)

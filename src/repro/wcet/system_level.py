@@ -23,6 +23,7 @@ program (paper Section II-D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
@@ -30,6 +31,9 @@ from repro.ir.program import Function, Storage
 from repro.utils.intervals import Interval
 from repro.wcet.code_level import analyze_task_wcet
 from repro.wcet.hardware_model import HardwareCostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wcet.cache import WcetAnalysisCache
 
 
 @dataclass
@@ -61,48 +65,53 @@ def _build_timeline(
     effective_wcet: dict[str, float],
     comm_delay,
 ) -> tuple[dict[str, Interval], float]:
-    """Static timeline respecting dependences and per-core ordering."""
+    """Static timeline respecting dependences and per-core ordering.
+
+    A Kahn-style event pass over the constraint graph (dependence edges plus
+    the per-core predecessor chain): each task is finalized exactly once when
+    all its constraints are resolved, so the pass is linear in tasks + edges.
+    The computed start/finish times are a function of the predecessors alone,
+    so they are independent of the processing order.
+    """
     position = {tid: (core, idx) for core, tids in order.items() for idx, tid in enumerate(tids)}
     for tid in mapping:
         if tid not in position:
             raise SystemWcetError(f"task {tid!r} is mapped but missing from the core order")
 
+    preds_of = {
+        tid: [p for p in htg.predecessors(tid) if p in position] for tid in position
+    }
+    indegree = {tid: len(ps) for tid, ps in preds_of.items()}
+    succs_of: dict[str, list[str]] = {tid: [] for tid in position}
+    for tid, ps in preds_of.items():
+        for p in ps:
+            succs_of[p].append(tid)
+    # core-order chaining: the previous task on the core is one more constraint
+    for tids in order.values():
+        for prev, nxt in zip(tids, tids[1:]):
+            succs_of[prev].append(nxt)
+            indegree[nxt] += 1
+
     finish: dict[str, float] = {}
     start: dict[str, float] = {}
-    remaining = [t.task_id for t in htg.leaf_tasks()]
-    pending = set(remaining)
-    core_ready: dict[int, float] = {}
-    # iterate until all placed (simple worklist; graph is a DAG so it finishes)
-    guard = 0
-    while pending:
-        guard += 1
-        if guard > len(remaining) ** 2 + 10:
-            raise SystemWcetError("could not order tasks; core order conflicts with dependences")
-        progressed = False
-        for tid in list(pending):
-            core, idx = position[tid]
-            preds = [p for p in htg.predecessors(tid) if p in pending or p in finish]
-            if any(p in pending for p in preds):
-                continue
-            # previous task on the same core must be done
-            if idx > 0:
-                prev = order[core][idx - 1]
-                if prev in pending:
-                    continue
-                ready_core = finish[prev]
-            else:
-                ready_core = 0.0
-            ready_deps = 0.0
-            for p in preds:
-                delay = comm_delay(p, tid) if mapping[p] != core else 0.0
-                ready_deps = max(ready_deps, finish[p] + delay)
-            s = max(ready_core, ready_deps, core_ready.get(core, 0.0))
-            start[tid] = s
-            finish[tid] = s + effective_wcet[tid]
-            pending.discard(tid)
-            progressed = True
-        if not progressed:
-            raise SystemWcetError("cyclic wait between core order and dependences")
+    worklist = [tid for tid in position if indegree[tid] == 0]
+    while worklist:
+        tid = worklist.pop()
+        core, idx = position[tid]
+        ready_core = finish[order[core][idx - 1]] if idx > 0 else 0.0
+        ready_deps = 0.0
+        for p in preds_of[tid]:
+            delay = comm_delay(p, tid) if mapping[p] != core else 0.0
+            ready_deps = max(ready_deps, finish[p] + delay)
+        s = max(ready_core, ready_deps)
+        start[tid] = s
+        finish[tid] = s + effective_wcet[tid]
+        for nxt in succs_of[tid]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                worklist.append(nxt)
+    if len(start) < len(position):
+        raise SystemWcetError("cyclic wait between core order and dependences")
     intervals = {tid: Interval(start[tid], finish[tid]) for tid in start}
     makespan = max((iv.end for iv in intervals.values()), default=0.0)
     return intervals, makespan
@@ -116,6 +125,7 @@ def system_level_wcet(
     order: dict[int, list[str]],
     storage_override: dict[str, Storage] | None = None,
     max_iterations: int = 25,
+    cache: "WcetAnalysisCache | None" = None,
 ) -> SystemWcetResult:
     """Contention-aware multi-core WCET of a mapped and ordered HTG."""
     storage_override = storage_override or {}
@@ -133,7 +143,7 @@ def system_level_wcet(
     for tid in leaf_ids:
         task = htg.task(tid)
         model = models[mapping[tid]]
-        breakdown = analyze_task_wcet(task, function, model)
+        breakdown = analyze_task_wcet(task, function, model, cache=cache)
         base_wcet[tid] = breakdown.total
         shared_accesses[tid] = breakdown.shared_accesses
 
@@ -161,15 +171,15 @@ def system_level_wcet(
     converged = False
     iterations = 0
 
+    # only tasks that actually touch shared resources can contend
+    sharers = [tid for tid in leaf_ids if shared_accesses[tid] > 0]
     for iterations in range(1, max_iterations + 1):
         intervals, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
         new_contenders: dict[str, int] = {}
         for tid in leaf_ids:
             other_cores = set()
-            for other in leaf_ids:
+            for other in sharers:
                 if other == tid or mapping[other] == mapping[tid]:
-                    continue
-                if shared_accesses[other] == 0:
                     continue
                 if intervals[tid].overlaps(intervals[other]):
                     other_cores.add(mapping[other])
@@ -221,6 +231,7 @@ def contention_oblivious_bound(
     platform: Platform,
     mapping: dict[str, int],
     order: dict[int, list[str]],
+    cache: "WcetAnalysisCache | None" = None,
 ) -> float:
     """Naive bound that assumes maximal contention on every shared access.
 
@@ -240,7 +251,7 @@ def contention_oblivious_bound(
     for tid in leaf_ids:
         task = htg.task(tid)
         model = models[mapping[tid]]
-        breakdown = analyze_task_wcet(task, function, model)
+        breakdown = analyze_task_wcet(task, function, model, cache=cache)
         shared_accesses[tid] = breakdown.shared_accesses
         effective[tid] = breakdown.total + breakdown.shared_accesses * model.shared_access_penalty(
             worst_contenders

@@ -1,0 +1,196 @@
+"""Regression tests for the memoized WCET analysis layer.
+
+The cache must be *observationally invisible*: cached and uncached analyses
+have to produce byte-identical schedules and WCET bounds on every use case,
+and repeated scheduling runs must be deterministic.
+"""
+
+import pytest
+
+from repro.adl.platforms import generic_predictable_multicore
+from repro.frontend import compile_diagram
+from repro.htg import extract_htg
+from repro.htg.extraction import ExtractionOptions
+from repro.ir.builder import FunctionBuilder
+from repro.scheduling import WcetAwareListScheduler
+from repro.scheduling.schedule import default_core_order
+from repro.usecases import ALL_USECASES
+from repro.usecases.workloads import synthetic_compiled_model
+from repro.wcet import (
+    HardwareCostModel,
+    WcetAnalysisCache,
+    analyze_function_wcet,
+    analyze_task_wcet,
+    annotate_htg_wcets,
+    system_level_wcet,
+)
+
+USECASES = ["egpws", "polka", "weaa", "workloads"]
+
+
+def build_case(usecase, cores=4, chunks=2):
+    if usecase == "workloads":
+        model = synthetic_compiled_model(num_kernels=6, vector_size=32, seed=1)
+    else:
+        builder, _ = ALL_USECASES[usecase]
+        model = compile_diagram(builder())
+    htg = extract_htg(model, ExtractionOptions(granularity="loop", loop_chunks=chunks))
+    platform = generic_predictable_multicore(cores=cores)
+    annotate_htg_wcets(htg, model.entry, HardwareCostModel(platform, 0))
+    return model, htg, platform
+
+
+def schedule_fingerprint(schedule):
+    return (
+        schedule.mapping,
+        schedule.order,
+        schedule.wcet_bound,
+        schedule.result.task_effective_wcet,
+        {tid: (iv.start, iv.end) for tid, iv in schedule.result.task_intervals.items()},
+    )
+
+
+@pytest.mark.parametrize("usecase", USECASES)
+class TestCachedEqualsUncached:
+    def test_task_analyses_identical(self, usecase):
+        model, htg, platform = build_case(usecase)
+        cache = WcetAnalysisCache()
+        for core_id in (0, 1):
+            model_cost = HardwareCostModel(platform, core_id)
+            for task in htg.leaf_tasks():
+                for average in (False, True):
+                    plain = analyze_task_wcet(task, model.entry, model_cost, average=average)
+                    cached = analyze_task_wcet(
+                        task, model.entry, model_cost, average=average, cache=cache
+                    )
+                    again = analyze_task_wcet(
+                        task, model.entry, model_cost, average=average, cache=cache
+                    )
+                    for b in (cached, again):
+                        assert b.total == plain.total
+                        assert b.compute == plain.compute
+                        assert b.memory == plain.memory
+                        assert b.control == plain.control
+                        assert b.shared_accesses == plain.shared_accesses
+        assert cache.stats.hits > 0
+
+    def test_system_level_identical(self, usecase):
+        model, htg, platform = build_case(usecase)
+        mapping = {
+            t.task_id: i % platform.num_cores
+            for i, t in enumerate(htg.topological_tasks())
+            if not t.is_synthetic
+        }
+        order = default_core_order(htg, mapping)
+        plain = system_level_wcet(htg, model.entry, platform, mapping, order)
+        cached = system_level_wcet(
+            htg, model.entry, platform, mapping, order, cache=WcetAnalysisCache()
+        )
+        assert cached.makespan == plain.makespan
+        assert cached.task_effective_wcet == plain.task_effective_wcet
+        assert cached.task_intervals == plain.task_intervals
+        assert cached.task_contenders == plain.task_contenders
+        assert cached.interference_cycles == plain.interference_cycles
+        assert cached.communication_cycles == plain.communication_cycles
+
+    def test_schedules_identical_across_caches(self, usecase):
+        model, htg, platform = build_case(usecase)
+        private = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        shared_cache = WcetAnalysisCache()
+        shared = WcetAwareListScheduler(platform=platform, cache=shared_cache).schedule(
+            htg, model.entry
+        )
+        # a third run reusing the now-warm shared cache
+        warm = WcetAwareListScheduler(platform=platform, cache=shared_cache).schedule(
+            htg, model.entry
+        )
+        assert schedule_fingerprint(shared) == schedule_fingerprint(private)
+        assert schedule_fingerprint(warm) == schedule_fingerprint(private)
+        assert shared_cache.stats.hits > 0
+
+    def test_annotation_identical(self, usecase):
+        model, htg, platform = build_case(usecase)
+        plain = {t.task_id: (t.wcet, t.acet) for t in htg.leaf_tasks()}
+        annotate_htg_wcets(
+            htg, model.entry, HardwareCostModel(platform, 0), cache=WcetAnalysisCache()
+        )
+        cached = {t.task_id: (t.wcet, t.acet) for t in htg.leaf_tasks()}
+        assert cached == plain
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("usecase", USECASES)
+    def test_two_schedule_runs_identical(self, usecase):
+        model, htg, platform = build_case(usecase)
+        first = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        second = WcetAwareListScheduler(platform=platform).schedule(htg, model.entry)
+        assert schedule_fingerprint(first) == schedule_fingerprint(second)
+
+
+class TestCacheBehaviour:
+    def _small_function(self):
+        fb = FunctionBuilder("f")
+        x = fb.local("x")
+        fb.assign(x, 1)
+        with fb.loop("i", 0, 8) as i:
+            fb.assign(x, fb.binop("+", x, i))
+        return fb.build()
+
+    def test_homogeneous_cores_share_entries(self):
+        model, htg, platform = build_case("workloads")
+        cache = WcetAnalysisCache()
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(task, model.entry, HardwareCostModel(platform, 0), cache=cache)
+        misses = cache.stats.misses
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(task, model.entry, HardwareCostModel(platform, 1), cache=cache)
+        # identical cores on a homogeneous platform share cost signatures
+        assert cache.stats.misses == misses
+
+    def test_invalidate_function_after_mutation(self):
+        func = self._small_function()
+        platform = generic_predictable_multicore(cores=2)
+        model_cost = HardwareCostModel(platform, 0)
+        cache = WcetAnalysisCache()
+        before = analyze_function_wcet(func, model_cost, cache=cache).total
+        # mutate the IR in place: duplicate the loop statement
+        func.body.stmts.append(func.body.stmts[-1])
+        cache.invalidate_function(func)
+        after = analyze_function_wcet(func, model_cost, cache=cache).total
+        assert after > before
+        assert after == analyze_function_wcet(func, model_cost).total
+
+    def test_cached_breakdowns_are_isolated_copies(self):
+        func = self._small_function()
+        platform = generic_predictable_multicore(cores=2)
+        model_cost = HardwareCostModel(platform, 0)
+        cache = WcetAnalysisCache()
+        first = cache.function_wcet(func, model_cost)
+        first.total += 1e9  # corrupting the returned object must not leak
+        second = cache.function_wcet(func, model_cost)
+        assert second.total == first.total - 1e9
+
+    def test_empty_cache_is_truthy(self):
+        # an empty cache defines __len__ == 0; it must still be truthy so
+        # `cache or default` style code cannot silently drop a shared cache
+        cache = WcetAnalysisCache()
+        assert len(cache) == 0
+        assert bool(cache)
+
+    def test_feedback_shares_cache_across_iterations(self):
+        from repro.core import ArgoToolchain, ToolchainConfig
+        from repro.usecases import build_egpws_diagram
+
+        platform = generic_predictable_multicore(cores=2)
+        chain = ArgoToolchain(platform, ToolchainConfig(loop_chunks=2, feedback_iterations=2))
+        chain.run(build_egpws_diagram())
+        assert chain.wcet_cache.stats.hits > 0
+
+    def test_clear_resets_entries(self):
+        func = self._small_function()
+        platform = generic_predictable_multicore(cores=2)
+        cache = WcetAnalysisCache()
+        cache.function_wcet(func, HardwareCostModel(platform, 0))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
