@@ -11,12 +11,23 @@ written to a ``BENCH_<tag>.json`` record::
 The JSON record holds one entry per experiment (wall-clock seconds, pytest
 exit status) plus environment metadata, giving the repository a perf
 trajectory across PRs instead of an empty bench history.
+
+With ``--cache-dir DIR`` every experiment subprocess shares one disk-backed
+WCET analysis cache (via the ``REPRO_WCET_CACHE_DIR`` environment variable):
+the first sweep populates the cache, subsequent sweeps hit it.  The record
+then carries per-experiment and total hit/disk-hit/miss counts -- the miss
+total is the number of actual code-level re-analyses, which a warm cache
+drives to zero::
+
+    python benchmarks/run_all.py --cache-dir .wcet_cache --tag cold
+    python benchmarks/run_all.py --cache-dir .wcet_cache --tag warm
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform as platform_module
 import re
 import subprocess
@@ -26,6 +37,11 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.wcet.cache import CACHE_DIR_ENV_VAR, read_cache_dir_stats  # noqa: E402
 
 
 def discover_benchmarks() -> list[Path]:
@@ -38,11 +54,14 @@ def discover_benchmarks() -> list[Path]:
     return sorted(BENCH_DIR.glob("bench_e*.py"), key=experiment_number)
 
 
-def run_benchmark(path: Path, pytest_args: list[str]) -> dict:
+def run_benchmark(path: Path, pytest_args: list[str], cache_dir: Path | None = None) -> dict:
     """Run one experiment module under pytest and time it."""
     cmd = [sys.executable, "-m", "pytest", str(path), "-q", *pytest_args]
+    env = dict(os.environ)
+    if cache_dir is not None:
+        env[CACHE_DIR_ENV_VAR] = str(cache_dir)
     started = time.perf_counter()
-    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True, env=env)
     seconds = time.perf_counter() - started
     # last pytest summary line, e.g. "3 passed in 12.34s"
     summary = ""
@@ -80,6 +99,13 @@ def main(argv: list[str] | None = None) -> int:
         help="directory the record is written to (default: repository root)",
     )
     parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="share one disk-backed WCET analysis cache across all experiment "
+        "subprocesses and record cache hit/miss counts in the BENCH record",
+    )
+    parser.add_argument(
         "--pytest-args",
         nargs=argparse.REMAINDER,
         default=[],
@@ -96,11 +122,27 @@ def main(argv: list[str] | None = None) -> int:
         print("no benchmark modules matched", file=sys.stderr)
         return 2
 
+    cache_dir = args.cache_dir.resolve() if args.cache_dir is not None else None
+    sweep_start_stats = (
+        read_cache_dir_stats(cache_dir, count_entries=False) if cache_dir else None
+    )
+
     results = []
+    before = sweep_start_stats
     for path in benchmarks:
         print(f"[run_all] {path.stem} ...", flush=True)
-        record = run_benchmark(path, args.pytest_args)
+        record = run_benchmark(path, args.pytest_args, cache_dir=cache_dir)
         status = "ok" if record["passed"] else f"FAILED (rc={record['returncode']})"
+        if cache_dir is not None:
+            after = read_cache_dir_stats(cache_dir, count_entries=False)
+            record["cache"] = {
+                key: after[key] - before[key] for key in ("hits", "disk_hits", "misses")
+            }
+            before = after
+            status += (
+                f"  [cache: {record['cache']['hits']}+{record['cache']['disk_hits']} hits"
+                f" / {record['cache']['misses']} misses]"
+            )
         print(f"[run_all]   {status} in {record['seconds']:.1f}s  ({record['summary']})")
         results.append(record)
 
@@ -113,6 +155,25 @@ def main(argv: list[str] | None = None) -> int:
         "all_passed": all(r["passed"] for r in results),
         "results": results,
     }
+    if cache_dir is not None:
+        end_stats = read_cache_dir_stats(cache_dir)
+        sweep = {
+            key: end_stats[key] - sweep_start_stats[key]
+            for key in ("hits", "disk_hits", "misses", "flushed")
+        }
+        record["cache"] = {
+            "dir": str(cache_dir),
+            **sweep,
+            #: actual code-level analyses performed this sweep; zero on a
+            #: fully warm cache
+            "code_level_reanalyses": sweep["misses"],
+            "entries_on_disk": end_stats["entries"],
+        }
+        print(
+            f"[run_all] cache: {sweep['hits']}+{sweep['disk_hits']} hits / "
+            f"{sweep['misses']} code-level re-analyses, "
+            f"{end_stats['entries']} entries on disk"
+        )
     out_path = args.out_dir / f"BENCH_{args.tag}.json"
     out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"[run_all] wrote {out_path} ({len(results)} experiments, "

@@ -42,7 +42,7 @@ from repro.transforms import (
 )
 from repro.transforms.base import PassReport
 from repro.wcet import HardwareCostModel, annotate_htg_wcets
-from repro.wcet.cache import WcetAnalysisCache
+from repro.wcet.cache import WcetAnalysisCache, shared_cache
 from repro.wcet.code_level import analyze_function_wcet
 
 
@@ -93,7 +93,11 @@ class ArgoToolchain:
         #: Memo of code-level analyses shared by every stage of this chain
         #: (and, via the feedback optimizer, across candidate configurations:
         #: entries are content addressed, so unchanged IR hits the cache).
-        self.wcet_cache = wcet_cache if wcet_cache is not None else WcetAnalysisCache()
+        #: Defaults to the process-wide shared cache, which is disk-backed
+        #: when ``REPRO_WCET_CACHE_DIR`` is set -- repeated runs and
+        #: multi-mapper sweeps then pay each code-level analysis exactly once
+        #: across the whole session.
+        self.wcet_cache = wcet_cache if wcet_cache is not None else shared_cache()
         report = platform.check_predictability()
         if not report.passed:
             raise ToolchainError(

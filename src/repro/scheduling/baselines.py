@@ -20,7 +20,7 @@ from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
-from repro.wcet.cache import WcetAnalysisCache
+from repro.wcet.cache import WcetAnalysisCache, shared_cache
 
 
 def sequential_schedule(
@@ -80,7 +80,7 @@ def contention_free_schedule(
     by the WCET-aware list scheduler.  The resulting system-level analysis
     sees zero contenders for every task.
     """
-    cache = cache if cache is not None else WcetAnalysisCache()
+    cache = cache if cache is not None else shared_cache()
     base = WcetAwareListScheduler(
         platform=platform, max_cores=max_cores, cache=cache
     ).schedule(htg, function)

@@ -15,7 +15,7 @@ from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.schedule import Schedule, evaluate_mapping
-from repro.wcet.cache import WcetAnalysisCache
+from repro.wcet.cache import WcetAnalysisCache, shared_cache
 from repro.wcet.code_level import analyze_task_wcet
 from repro.wcet.hardware_model import HardwareCostModel
 
@@ -51,7 +51,7 @@ def branch_and_bound_schedule(
     if max_cores is not None:
         core_ids = core_ids[:max_cores]
 
-    cache = cache if cache is not None else WcetAnalysisCache()
+    cache = cache if cache is not None else shared_cache()
     model = HardwareCostModel(platform, core_ids[0])
     wcets = {
         t.task_id: analyze_task_wcet(t, function, model, cache=cache).total

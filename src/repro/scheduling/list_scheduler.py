@@ -40,7 +40,7 @@ from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.schedule import Schedule, evaluate_mapping
-from repro.wcet.cache import WcetAnalysisCache
+from repro.wcet.cache import WcetAnalysisCache, shared_cache
 from repro.wcet.code_level import analyze_task_wcet
 from repro.wcet.hardware_model import HardwareCostModel
 
@@ -59,14 +59,14 @@ class WcetAwareListScheduler:
     use_average_costs: bool = False
     #: Shared memo of code-level analyses; pass one cache to share results
     #: with other schedulers / the system-level analysis, or leave ``None``
-    #: to use a private cache that persists across ``schedule()`` calls.
+    #: to use the process-wide (possibly disk-backed) shared cache.
     cache: WcetAnalysisCache | None = None
 
     _models: dict[int, HardwareCostModel] = field(default_factory=dict, init=False)
 
     def __post_init__(self) -> None:
         if self.cache is None:
-            self.cache = WcetAnalysisCache()
+            self.cache = shared_cache()
 
     def _core_ids(self) -> list[int]:
         ids = [c.core_id for c in self.platform.cores]

@@ -17,7 +17,7 @@ from repro.ir.program import Function
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
 from repro.utils.rng import make_rng
-from repro.wcet.cache import WcetAnalysisCache
+from repro.wcet.cache import WcetAnalysisCache, shared_cache
 
 
 def _core_ids(platform: Platform, max_cores: int | None) -> list[int]:
@@ -44,7 +44,7 @@ def simulated_annealing_schedule(
     the code-level analysis cost.
     """
     rng = make_rng(seed)
-    cache = cache if cache is not None else WcetAnalysisCache()
+    cache = cache if cache is not None else shared_cache()
     core_ids = _core_ids(platform, max_cores)
     current = WcetAwareListScheduler(
         platform=platform, max_cores=max_cores, cache=cache
@@ -100,7 +100,7 @@ def genetic_schedule(
     """A small genetic algorithm over mappings (tournament selection,
     single-point crossover, per-gene mutation)."""
     rng = make_rng(seed)
-    cache = cache if cache is not None else WcetAnalysisCache()
+    cache = cache if cache is not None else shared_cache()
     core_ids = _core_ids(platform, max_cores)
     task_ids = [t.task_id for t in htg.leaf_tasks()]
     seeded = WcetAwareListScheduler(

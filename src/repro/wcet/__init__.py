@@ -7,19 +7,27 @@
   longest-path formulation of :mod:`repro.wcet.ipet`.
 * :mod:`repro.wcet.system_level` adds shared-resource interference based on a
   may-happen-in-parallel analysis of the scheduled parallel program and the
-  platform's interconnect cost model, iterated to a fixed point.
+  platform's interconnect cost model, iterated to a fixed point (vectorised
+  via ``numpy.searchsorted`` on large graphs, bit-for-bit identical to the
+  scalar reference pass).
 * :mod:`repro.wcet.cache` memoizes code-level results so the schedulers, the
   system-level fixed point and the cross-layer feedback loop analyse each
-  distinct (code region, core cost signature) pair exactly once.
+  distinct (code region, core cost signature) pair exactly once --
+  per process, or across processes when the cache is disk-backed.
 
 Cache-invalidation contract
 ---------------------------
 :class:`~repro.wcet.cache.WcetAnalysisCache` entries are **content
-addressed** (function + region fingerprints, hardware cost signature,
+addressed** (function + region fingerprints, hardware *cost signature*,
 average/worst flag), so a cache can safely be shared across schedulers,
-analyses, toolchain runs and feedback iterations: changed IR or a different
-platform simply produces different keys, and unchanged IR hits the cache.
-Only two situations require explicit action from callers:
+analyses, toolchain runs, feedback iterations and -- when disk-backed --
+across processes: changed IR or a different platform simply produces
+different keys, and unchanged IR hits the cache.  The cost signature is
+derived from the numbers the code-level analysis can observe (operation cost
+table, branch/loop overheads, scratchpad and uncontended shared-memory
+latencies, storage overrides), never from object identities, so identical
+cores share entries even on heterogeneous platforms and across platform
+rebuilds.  Only two situations require explicit action from callers:
 
 * **IR transforms that mutate a function in place** (e.g. running a
   ``PassManager`` after code has already been analysed) must be followed by
@@ -28,26 +36,69 @@ Only two situations require explicit action from callers:
   The toolchain runs all transforms *before* the first analysis and the
   feedback loop recompiles the model per candidate (fresh objects), so
   neither needs this.
-* **Platform or processor objects mutated in place** require
-  ``cache.clear()`` -- their identity is part of the cost signature.  The
-  supported style is to build a fresh :class:`~repro.adl.architecture.Platform`
-  instead, which needs no invalidation at all.
+* **Platform, processor or cost-model objects mutated in place** require
+  ``cache.clear()`` -- their cost signatures are memoized per object.  The
+  supported style is to build fresh objects instead, which needs no
+  invalidation at all.
+
+On-disk format and versioning
+-----------------------------
+A disk-backed cache (``WcetAnalysisCache.open(dir)`` /
+``cache.load(dir)`` / ``cache.flush()``, or the process-wide
+:func:`~repro.wcet.cache.shared_cache` with the ``REPRO_WCET_CACHE_DIR``
+environment variable) persists entries under a **version-stamped**
+subdirectory ``<dir>/v<CACHE_SCHEMA_VERSION>/``:
+
+* ``entries.jsonl`` holds one JSON object per entry: the content key plus
+  the five :class:`~repro.wcet.code_level.WcetBreakdown` fields.  The file
+  is strictly append-only, duplicate keys are harmless (the key fully
+  determines the value) and malformed lines -- e.g. a torn append from a
+  concurrent process -- are skipped on load.  Because keys are content
+  addressed, on-disk entries can never go stale and need no invalidation,
+  ever.
+* ``stats.jsonl`` accumulates one hit/disk-hit/miss delta record per flush;
+  :func:`~repro.wcet.cache.read_cache_dir_stats` aggregates them across
+  processes (``benchmarks/run_all.py --cache-dir`` reports them in its
+  ``BENCH_*.json`` records).
+
+**Versioning rule:** bump
+:data:`~repro.wcet.cache.CACHE_SCHEMA_VERSION` whenever the *meaning* of a
+cached number can change -- the code-level cost semantics, the C-printer
+rendering behind the fingerprints, the cost-signature composition, or the
+``WcetBreakdown`` fields.  Old versions are simply ignored (each lives in
+its own ``v<N>`` directory); never reinterpret them in place.
 """
 
 from repro.wcet.hardware_model import HardwareCostModel
-from repro.wcet.cache import CacheStats, WcetAnalysisCache
+from repro.wcet.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    WcetAnalysisCache,
+    read_cache_dir_stats,
+    reset_shared_cache,
+    shared_cache,
+)
 from repro.wcet.code_level import analyze_function_wcet, analyze_task_wcet, annotate_htg_wcets
 from repro.wcet.ipet import ipet_wcet
-from repro.wcet.system_level import SystemWcetResult, system_level_wcet
+from repro.wcet.system_level import (
+    SystemWcetResult,
+    contention_oblivious_bound,
+    system_level_wcet,
+)
 
 __all__ = [
     "HardwareCostModel",
+    "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "WcetAnalysisCache",
+    "read_cache_dir_stats",
+    "reset_shared_cache",
+    "shared_cache",
     "analyze_function_wcet",
     "analyze_task_wcet",
     "annotate_htg_wcets",
     "ipet_wcet",
     "SystemWcetResult",
+    "contention_oblivious_bound",
     "system_level_wcet",
 ]

@@ -5,7 +5,9 @@ list scheduler analyses each (task, candidate core) pair during placement,
 the system-level fixed point re-analyses the mapped tasks, and the
 metaheuristic / branch-and-bound mappers re-evaluate thousands of complete
 mappings.  :class:`WcetAnalysisCache` memoizes those code-level results so
-each distinct analysis is performed exactly once per process.
+each distinct analysis is performed exactly once per process -- and, when the
+cache is disk-backed, exactly once across *all* processes sharing one cache
+directory.
 
 Cache keys are **content addressed**: an entry is keyed by
 
@@ -13,31 +15,66 @@ Cache keys are **content addressed**: an entry is keyed by
   classes plus the whole body, rendered through the C printer),
 * the fingerprint of the analysed statement region (a task's statements or
   the function body),
-* the cost signature of the hardware model (platform identity, processor
-  identity, scratchpad latencies and any storage overrides), and
+* the *cost signature* of the hardware model -- the processor's operation
+  cost table, branch and loop overheads, the core's scratchpad latencies,
+  the platform's uncontended shared-memory latencies and any storage
+  overrides, and
 * the average/worst-case flag.
 
+The cost signature is derived purely from the numbers that determine
+code-level costs, never from object identities.  Any two cores with the same
+cost parameters therefore share entries: all cores of a homogeneous
+platform, identical-type cores of a heterogeneous platform (even when their
+:class:`~repro.adl.processor.ProcessorModel` objects are distinct), and the
+"same" core rebuilt in a different process against a fresh ``Platform``.
+
 Because entries are content addressed they can never go stale: changing the
-IR or analysing a different platform simply produces different keys.  On
-homogeneous platforms, cores sharing one processor model also share cache
-entries, so a k-core placement loop costs a single analysis per task.
+IR or analysing a different platform simply produces different keys.
+
+Disk persistence
+----------------
+A cache becomes disk-backed through :meth:`WcetAnalysisCache.load` (or the
+:meth:`WcetAnalysisCache.open` constructor).  Entries live under a
+version-stamped subdirectory, ``<cache_dir>/v<CACHE_SCHEMA_VERSION>/``:
+
+* ``entries.jsonl`` -- one JSON object per line, ``{"key": <content key>,
+  "total": .., "compute": .., "memory": .., "control": ..,
+  "shared_accesses": ..}``.  The file is append-only; duplicate keys are
+  harmless (the content key fully determines the value) and malformed lines
+  (e.g. a torn concurrent append) are skipped on load.
+* ``stats.jsonl`` -- one JSON object per :meth:`flush`, recording the
+  hit/disk-hit/miss deltas of the flushing process.  Aggregated by
+  :func:`read_cache_dir_stats` so drivers like ``benchmarks/run_all.py`` can
+  report cache effectiveness across subprocesses.
+
+:meth:`flush` appends every entry not yet persisted and is cheap when there
+is nothing new.  Other schema versions in the same directory are ignored, so
+bumping :data:`CACHE_SCHEMA_VERSION` (see the invalidation contract in
+:mod:`repro.wcet`) invalidates old on-disk entries without deleting them.
+
+:func:`shared_cache` returns the process-wide cache every toolchain,
+scheduler and mapper uses by default.  When the ``REPRO_WCET_CACHE_DIR``
+environment variable is set, the shared cache is disk-backed at that
+directory and flushed automatically at interpreter exit.
 
 Invalidation contract
 ---------------------
-The only mutable state is the *fingerprint memo* mapping live ``Function`` /
-statement objects (by identity) to their fingerprints, which avoids
-re-rendering the IR on every query.  Two situations require cooperation from
-the caller:
+The only mutable state is the set of *memos* mapping live ``Function`` /
+statement / model objects (by identity) to their fingerprints and cost
+signatures, which avoids re-rendering the IR and re-digesting cost tables on
+every query.  Situations requiring cooperation from the caller:
 
 1. **In-place IR mutation.**  If a function (or a task's statement block) is
    mutated after it has been analysed -- e.g. by running an IR transform --
    call :meth:`WcetAnalysisCache.invalidate_function` so the memoized
    fingerprint is recomputed.  The toolchain runs all transforms *before*
    the first analysis, so it never needs to do this.
-2. **In-place platform mutation.**  Platform and processor objects are
-   treated as immutable (their ``id`` is part of the model signature).
-   Mutating one in place requires :meth:`WcetAnalysisCache.clear` (or simply
-   building a fresh ``Platform``, which is the supported style).
+2. **In-place platform / processor / cost-model mutation.**  Platform,
+   processor and :class:`~repro.wcet.hardware_model.HardwareCostModel`
+   objects are treated as immutable (their cost signature is memoized per
+   object).  Mutating one in place requires
+   :meth:`WcetAnalysisCache.clear` (or simply building fresh objects, which
+   is the supported style and needs no invalidation at all).
 
 Everything else -- new functions, new platforms, new storage overrides,
 feedback iterations that recompile the model -- is handled transparently:
@@ -46,8 +83,13 @@ unchanged IR hits the cache, changed IR misses it.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
+import json
+import os
+import weakref
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task
@@ -57,24 +99,46 @@ from repro.ir.statements import Block
 from repro.wcet.code_level import WcetBreakdown, statement_wcet
 from repro.wcet.hardware_model import HardwareCostModel
 
+#: Version of the on-disk entry format *and* of the cost-model semantics the
+#: cached numbers were produced under.  Bump it whenever the code-level
+#: analysis, the printer rendering used for fingerprints, or the meaning of a
+#: :class:`WcetBreakdown` field changes; old versions are simply ignored on
+#: disk (each lives in its own ``v<N>`` subdirectory).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache directory of the process-wide
+#: shared cache (see :func:`shared_cache`).
+CACHE_DIR_ENV_VAR = "REPRO_WCET_CACHE_DIR"
+
+_ENTRY_FIELDS = ("total", "compute", "memory", "control", "shared_accesses")
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`WcetAnalysisCache`."""
+    """Hit/miss counters of one :class:`WcetAnalysisCache`.
+
+    ``hits`` counts lookups served by entries computed in this process,
+    ``disk_hits`` lookups served by entries loaded from a cache directory,
+    and ``misses`` actual code-level re-analyses.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        return (self.hits + self.disk_hits) / self.lookups if self.lookups else 0.0
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%})"
+        return (
+            f"{self.hits} hits + {self.disk_hits} disk hits / "
+            f"{self.misses} misses ({self.hit_rate:.1%})"
+        )
 
 
 def _digest(text: str) -> str:
@@ -83,57 +147,113 @@ def _digest(text: str) -> str:
 
 @dataclass
 class WcetAnalysisCache:
-    """Process-wide memo of code-level WCET analyses (see module docstring)."""
+    """Shared memo of code-level WCET analyses (see module docstring)."""
 
     stats: CacheStats = field(default_factory=CacheStats)
     #: content-key -> analysed breakdown (never stale; see module docstring)
-    _entries: dict[tuple, WcetBreakdown] = field(default_factory=dict, repr=False)
-    #: id(Function) -> (pinned function, fingerprint)
-    _function_fps: dict[int, tuple[Function, str]] = field(default_factory=dict, repr=False)
-    #: id(Block) -> (pinned block, fingerprint)
-    _region_fps: dict[int, tuple[Block, str]] = field(default_factory=dict, repr=False)
-    #: pins keeping platform/processor objects alive while their ids key entries
-    _model_pins: dict[int, object] = field(default_factory=dict, repr=False)
+    _entries: dict[str, WcetBreakdown] = field(default_factory=dict, repr=False)
+    #: id(Function) -> fingerprint (dropped via weakref.finalize on GC)
+    _function_fps: dict[int, str] = field(default_factory=dict, repr=False)
+    #: id(Block) -> fingerprint
+    _region_fps: dict[int, str] = field(default_factory=dict, repr=False)
+    #: id(HardwareCostModel) -> (signature tuple, digest)
+    _model_sigs: dict[int, tuple[tuple, str]] = field(default_factory=dict, repr=False)
+    #: objects that could not be weakref'd, pinned so their ids stay valid
+    _pins: list = field(default_factory=list, repr=False)
+    #: keys of entries loaded from disk (they count as ``disk_hits``)
+    _loaded: set[str] = field(default_factory=set, repr=False)
+    #: keys already present in the on-disk entries file (loaded or flushed)
+    _persisted: set[str] = field(default_factory=set, repr=False)
+    #: stats snapshot at the last flush, for per-flush delta records
+    _flushed_stats: tuple[int, int, int] = field(default=(0, 0, 0), repr=False)
+    _cache_dir: Path | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
+    # content addressing
+    # ------------------------------------------------------------------ #
+    def _remember(self, memo: dict, obj, value):
+        """Memoize ``value`` under ``id(obj)`` without leaking the object.
+
+        A finalizer drops the memo entry when the object is collected (at
+        which point its id may be reused); objects that do not support weak
+        references are pinned instead so their ids stay valid.
+        """
+        memo[id(obj)] = value
+        try:
+            weakref.finalize(obj, memo.pop, id(obj), None)
+        except TypeError:  # pragma: no cover - all memoized types are weakref-able
+            self._pins.append(obj)
+        return value
+
     def _function_fingerprint(self, function: Function) -> str:
-        key = id(function)
-        cached = self._function_fps.get(key)
+        cached = self._function_fps.get(id(function))
         if cached is None:
-            cached = (function, _digest(function_to_c(function)))
-            self._function_fps[key] = cached
-        return cached[1]
+            cached = self._remember(
+                self._function_fps, function, _digest(function_to_c(function))
+            )
+        return cached
 
     def _region_fingerprint(self, region: Block) -> str:
-        key = id(region)
-        cached = self._region_fps.get(key)
+        cached = self._region_fps.get(id(region))
         if cached is None:
-            cached = (region, _digest(to_c(region)))
-            self._region_fps[key] = cached
-        return cached[1]
+            cached = self._remember(self._region_fps, region, _digest(to_c(region)))
+        return cached
 
     def model_signature(self, model: HardwareCostModel) -> tuple:
-        """Cost-relevant identity of a hardware model.
+        """Cost-relevant identity of a hardware model, by *content*.
 
-        Uses object identities for the platform and processor (pinned so the
-        ids stay valid) plus the per-core scratchpad latencies, so identical
-        cores of a homogeneous platform share entries.
+        Collects every number the code-level analysis can observe through the
+        model: the processor's operation cost table and control overheads,
+        the core's scratchpad latencies, the platform's uncontended
+        shared-memory latencies and the storage overrides.  Identical cores
+        therefore share entries regardless of object identity, platform
+        instance or process -- which is what makes heterogeneous platforms
+        with repeated core types, and disk-backed sharing, work.
         """
-        platform = model.platform
-        core = platform.core(model.core_id)
-        self._model_pins.setdefault(id(platform), platform)
-        self._model_pins.setdefault(id(core.processor), core.processor)
-        override = tuple(
-            sorted((name, storage.name) for name, storage in model.storage_override.items())
-        )
-        return (
-            id(platform),
-            id(core.processor),
-            float(core.scratchpad.read_latency),
-            float(core.scratchpad.write_latency),
-            override,
+        return self._model_signature(model)[0]
+
+    def _model_signature(self, model: HardwareCostModel) -> tuple[tuple, str]:
+        cached = self._model_sigs.get(id(model))
+        if cached is None:
+            platform = model.platform
+            core = platform.core(model.core_id)
+            proc = core.processor
+            override = tuple(
+                sorted((name, storage.name) for name, storage in model.storage_override.items())
+            )
+            signature = (
+                tuple(sorted((op, float(c)) for op, c in proc.op_cycles.items())),
+                float(proc.branch_cycles),
+                float(proc.loop_overhead_cycles),
+                float(core.scratchpad.read_latency),
+                float(core.scratchpad.write_latency),
+                float(platform.shared_read_latency(0)),
+                float(platform.shared_write_latency(0)),
+                override,
+            )
+            digest = _digest(json.dumps(signature, separators=(",", ":")))
+            cached = self._remember(self._model_sigs, model, (signature, digest))
+        return cached
+
+    def entry_key(
+        self,
+        region: Block,
+        function: Function,
+        model: HardwareCostModel,
+        average: bool = False,
+    ) -> str:
+        """The stable content key of one analysis (also the on-disk key)."""
+        return "|".join(
+            (
+                self._function_fingerprint(function),
+                self._region_fingerprint(region),
+                self._model_signature(model)[1],
+                "avg" if average else "wc",
+            )
         )
 
+    # ------------------------------------------------------------------ #
+    # lookups
     # ------------------------------------------------------------------ #
     def region_wcet(
         self,
@@ -143,17 +263,14 @@ class WcetAnalysisCache:
         average: bool = False,
     ) -> WcetBreakdown:
         """Memoized :func:`~repro.wcet.code_level.statement_wcet` of a region."""
-        key = (
-            self._function_fingerprint(function),
-            self._region_fingerprint(region),
-            self.model_signature(model),
-            average,
-        )
+        key = self.entry_key(region, function, model, average)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             entry = statement_wcet(region, function, model, average)
             self._entries[key] = entry
+        elif key in self._loaded:
+            self.stats.disk_hits += 1
         else:
             self.stats.hits += 1
         # hand out a copy so callers can never corrupt the cached entry
@@ -193,6 +310,110 @@ class WcetAnalysisCache:
             task.acet = min(acet, task.wcet)
 
     # ------------------------------------------------------------------ #
+    # disk persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, cache_dir: str | Path) -> "WcetAnalysisCache":
+        """A fresh cache pre-loaded from (and flushing to) ``cache_dir``."""
+        cache = cls()
+        cache.load(cache_dir)
+        return cache
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """The backing directory, or ``None`` for a memory-only cache."""
+        return self._cache_dir
+
+    def _version_dir(self) -> Path:
+        assert self._cache_dir is not None
+        return self._cache_dir / f"v{CACHE_SCHEMA_VERSION}"
+
+    def load(self, cache_dir: str | Path) -> int:
+        """Attach the cache to ``cache_dir`` and pull in its entries.
+
+        Creates the version-stamped subdirectory if needed, reads every
+        well-formed line of ``entries.jsonl`` (later duplicates and torn
+        lines are skipped) and returns the number of entries added.  Entries
+        from other schema versions are ignored.
+
+        Re-attaching to a *different* directory forgets what was persisted
+        where: every in-memory entry becomes flushable to the new directory
+        (so switching directories cannot silently drop entries).
+        """
+        cache_dir = Path(cache_dir)
+        if self._cache_dir is not None and cache_dir != self._cache_dir:
+            self._persisted.clear()
+            self._loaded.clear()
+        self._cache_dir = cache_dir
+        vdir = self._version_dir()
+        vdir.mkdir(parents=True, exist_ok=True)
+        entries_path = vdir / "entries.jsonl"
+        loaded = 0
+        if entries_path.exists():
+            for line in entries_path.read_text(encoding="utf-8").splitlines():
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    entry = WcetBreakdown(
+                        total=float(record["total"]),
+                        compute=float(record["compute"]),
+                        memory=float(record["memory"]),
+                        control=float(record["control"]),
+                        shared_accesses=int(record["shared_accesses"]),
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn append or foreign line: skip, never fail
+                self._persisted.add(key)
+                if key not in self._entries:
+                    self._entries[key] = entry
+                    self._loaded.add(key)
+                    loaded += 1
+        return loaded
+
+    def flush(self) -> int:
+        """Append every not-yet-persisted entry to the backing directory.
+
+        Returns the number of entries written (0 for a memory-only cache, so
+        it is always safe to call).  Also appends one hit/miss delta record
+        to ``stats.jsonl`` so cache effectiveness can be aggregated across
+        processes by :func:`read_cache_dir_stats`.
+        """
+        if self._cache_dir is None:
+            return 0
+        fresh = {
+            key: entry for key, entry in self._entries.items() if key not in self._persisted
+        }
+        snapshot = (self.stats.hits, self.stats.disk_hits, self.stats.misses)
+        if not fresh and snapshot == self._flushed_stats:
+            return 0  # nothing to record: do not even touch the directory
+        vdir = self._version_dir()
+        vdir.mkdir(parents=True, exist_ok=True)
+        if fresh:
+            lines = [
+                json.dumps(
+                    {"key": key, **{f: getattr(entry, f) for f in _ENTRY_FIELDS}},
+                    separators=(",", ":"),
+                )
+                for key, entry in fresh.items()
+            ]
+            with (vdir / "entries.jsonl").open("a", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+            self._persisted.update(fresh)
+        delta = tuple(now - then for now, then in zip(snapshot, self._flushed_stats))
+        if fresh or any(delta):
+            record = {
+                "pid": os.getpid(),
+                "hits": delta[0],
+                "disk_hits": delta[1],
+                "misses": delta[2],
+                "flushed": len(fresh),
+            }
+            with (vdir / "stats.jsonl").open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._flushed_stats = snapshot
+        return len(fresh)
+
+    # ------------------------------------------------------------------ #
     def invalidate_function(self, function: Function) -> None:
         """Forget memoized fingerprints after an in-place IR mutation.
 
@@ -207,11 +428,18 @@ class WcetAnalysisCache:
                 self._region_fps.pop(id(stmt), None)
 
     def clear(self) -> None:
-        """Drop every entry, fingerprint memo and pin (stats are kept)."""
+        """Drop every in-memory entry and memo (stats are kept).
+
+        On-disk entries are *not* deleted: the backing directory stays
+        attached and can be re-read with :meth:`load`, and already-persisted
+        keys are remembered so a later :meth:`flush` does not duplicate them.
+        """
         self._entries.clear()
         self._function_fps.clear()
         self._region_fps.clear()
-        self._model_pins.clear()
+        self._model_sigs.clear()
+        self._pins.clear()
+        self._loaded.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -219,3 +447,86 @@ class WcetAnalysisCache:
     def __bool__(self) -> bool:
         """An empty cache is still a cache (``len`` would make it falsy)."""
         return True
+
+
+def read_cache_dir_stats(cache_dir: str | Path, count_entries: bool = True) -> dict:
+    """Aggregate the stats records of a cache directory.
+
+    Sums every record of ``stats.jsonl`` (one per flush, across all
+    processes) and, with ``count_entries``, also counts the distinct
+    persisted entries (a full scan of ``entries.jsonl`` -- pass ``False``
+    when diffing snapshots in a loop).  Returns zeros for a missing or
+    empty directory, so callers can diff before/after snapshots without
+    special cases.
+    """
+    totals = {"hits": 0, "disk_hits": 0, "misses": 0, "flushed": 0, "entries": 0}
+    vdir = Path(cache_dir) / f"v{CACHE_SCHEMA_VERSION}"
+    stats_path = vdir / "stats.jsonl"
+    if stats_path.exists():
+        for line in stats_path.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(line)
+                for key in ("hits", "disk_hits", "misses", "flushed"):
+                    totals[key] += int(record.get(key, 0))
+            except (ValueError, TypeError):
+                continue
+    entries_path = vdir / "entries.jsonl"
+    if count_entries and entries_path.exists():
+        keys = set()
+        for line in entries_path.read_text(encoding="utf-8").splitlines():
+            try:
+                keys.add(json.loads(line)["key"])
+            except (ValueError, KeyError, TypeError):
+                continue
+        totals["entries"] = len(keys)
+    return totals
+
+
+# ---------------------------------------------------------------------- #
+# the process-wide shared cache
+# ---------------------------------------------------------------------- #
+_shared: WcetAnalysisCache | None = None
+_atexit_registered = False
+
+
+def _flush_shared_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    if _shared is not None:
+        _shared.flush()
+
+
+def shared_cache() -> WcetAnalysisCache:
+    """The process-wide analysis cache used by every flow entry point.
+
+    Toolchains, schedulers and mappers that are not handed an explicit cache
+    all share this one, so a session running several mappers (or the same
+    flow repeatedly) pays each distinct code-level analysis exactly once.
+    When the :data:`CACHE_DIR_ENV_VAR` environment variable is set at first
+    use, the shared cache is disk-backed at that directory and flushed
+    automatically at interpreter exit, extending the "exactly once" to every
+    process pointed at the same directory.
+    """
+    global _shared, _atexit_registered
+    if _shared is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR)
+        if cache_dir:
+            _shared = WcetAnalysisCache.open(cache_dir)
+            if not _atexit_registered:
+                # one hook flushing whichever instance is current at exit,
+                # so resets never stack stale callbacks
+                atexit.register(_flush_shared_at_exit)
+                _atexit_registered = True
+        else:
+            _shared = WcetAnalysisCache()
+    return _shared
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-wide cache so the next use re-reads the environment.
+
+    Flushes a disk-backed shared cache first.  Intended for tests and
+    long-running drivers that change :data:`CACHE_DIR_ENV_VAR` mid-process.
+    """
+    global _shared
+    if _shared is not None:
+        _shared.flush()
+    _shared = None

@@ -12,18 +12,33 @@ Given a mapping and per-core ordering of HTG tasks, this analysis
    of shared accesses times the interconnect's per-access penalty for the
    observed number of contending cores, and
 5. iterates -- inflating a task stretches its window, which may create new
-   overlaps -- until a fixed point (interference is monotone, so the
-   iteration converges; a safety cap guards against pathological cases by
-   falling back to the all-cores-contend worst case).
+   overlaps -- until a fixed point, within a safety cap: inflation can also
+   *shift* windows (a task starts later because a predecessor grew), so the
+   contention sets are not guaranteed to grow monotonically and the iteration
+   may keep oscillating.  When the cap is hit the analysis falls back to the
+   all-cores-contend worst case and reports ``converged=False``.
 
 The result's makespan is the guaranteed end-to-end WCET of the parallel
 program (paper Section II-D).
+
+MHP implementation notes
+------------------------
+The per-iteration contender derivation is the hot loop of the fixed point:
+naively it is a double loop over tasks x sharer tasks.  The vectorised
+backend computes the same counts per core with two ``numpy.searchsorted``
+passes over the sorted sharer window endpoints: for a query window
+``[s, e)``, the number of sharer windows on a core that overlap it is
+``#(starts < e) - #(ends <= s)`` -- exact for half-open windows because
+sharer windows are never empty (a task with shared accesses has a positive
+WCET).  Both backends use the same strict float comparisons and the
+effective-WCET arithmetic stays in scalar Python, so the vectorised pass is
+bit-for-bit identical to the double loop (the test suite asserts this).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
@@ -32,8 +47,17 @@ from repro.utils.intervals import Interval
 from repro.wcet.code_level import analyze_task_wcet
 from repro.wcet.hardware_model import HardwareCostModel
 
+try:  # numpy is an optional accelerator; every result is identical without it
+    import numpy as _np
+except ModuleNotFoundError:  # pragma: no cover - the container ships numpy
+    _np = None
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.wcet.cache import WcetAnalysisCache
+
+#: Below this many (task, sharer) pairs the double loop beats the cost of
+#: building numpy arrays; both backends give identical results either way.
+_VECTORISE_MIN_PAIRS = 2048
 
 
 @dataclass
@@ -58,13 +82,42 @@ class SystemWcetError(RuntimeError):
     """Raised when the schedule handed to the analysis is inconsistent."""
 
 
-def _build_timeline(
+def make_edge_latency(
     htg: HierarchicalTaskGraph,
+    platform: Platform,
     mapping: dict[str, int],
-    order: dict[int, list[str]],
-    effective_wcet: dict[str, float],
-    comm_delay,
-) -> tuple[dict[str, Interval], float]:
+    contenders: int,
+) -> Callable[[str, str], float]:
+    """Memoized worst-case latency of one HTG edge between mapped tasks.
+
+    Single source of truth for edge pricing in this module: a payload-free
+    edge costs nothing, every other edge costs the platform's worst-case
+    transfer latency between the two mapped cores with ``contenders``
+    competing cores.  Both :func:`system_level_wcet` and
+    :func:`contention_oblivious_bound` price edges through this helper, so
+    the two bounds cannot drift on payload or contender semantics.
+    """
+    table: dict[tuple[str, str], float] = {}
+
+    def comm_delay(src: str, dst: str) -> float:
+        key = (src, dst)
+        delay = table.get(key)
+        if delay is None:
+            edge = htg.edge(src, dst)
+            payload = edge.payload_bytes if edge is not None else 0
+            if payload == 0:
+                delay = 0.0
+            else:
+                delay = platform.communication_latency(
+                    payload, mapping[src], mapping[dst], contenders
+                )
+            table[key] = delay
+        return delay
+
+    return comm_delay
+
+
+class _TimelineBuilder:
     """Static timeline respecting dependences and per-core ordering.
 
     A Kahn-style event pass over the constraint graph (dependence edges plus
@@ -72,49 +125,166 @@ def _build_timeline(
     all its constraints are resolved, so the pass is linear in tasks + edges.
     The computed start/finish times are a function of the predecessors alone,
     so they are independent of the processing order.
+
+    The constraint graph and the worst-case edge delays do not change across
+    fixed-point iterations (only the task durations do), so they are resolved
+    once at construction; :meth:`build` is then a pure max-plus pass.
     """
-    position = {tid: (core, idx) for core, tids in order.items() for idx, tid in enumerate(tids)}
-    for tid in mapping:
-        if tid not in position:
-            raise SystemWcetError(f"task {tid!r} is mapped but missing from the core order")
 
-    preds_of = {
-        tid: [p for p in htg.predecessors(tid) if p in position] for tid in position
-    }
-    indegree = {tid: len(ps) for tid, ps in preds_of.items()}
-    succs_of: dict[str, list[str]] = {tid: [] for tid in position}
-    for tid, ps in preds_of.items():
-        for p in ps:
-            succs_of[p].append(tid)
-    # core-order chaining: the previous task on the core is one more constraint
-    for tids in order.values():
-        for prev, nxt in zip(tids, tids[1:]):
-            succs_of[prev].append(nxt)
-            indegree[nxt] += 1
+    def __init__(
+        self,
+        htg: HierarchicalTaskGraph,
+        mapping: dict[str, int],
+        order: dict[int, list[str]],
+        comm_delay,
+    ) -> None:
+        position = {
+            tid: (core, idx) for core, tids in order.items() for idx, tid in enumerate(tids)
+        }
+        for tid in mapping:
+            if tid not in position:
+                raise SystemWcetError(f"task {tid!r} is mapped but missing from the core order")
+        self._position = position
 
-    finish: dict[str, float] = {}
-    start: dict[str, float] = {}
-    worklist = [tid for tid in position if indegree[tid] == 0]
-    while worklist:
-        tid = worklist.pop()
-        core, idx = position[tid]
-        ready_core = finish[order[core][idx - 1]] if idx > 0 else 0.0
-        ready_deps = 0.0
-        for p in preds_of[tid]:
-            delay = comm_delay(p, tid) if mapping[p] != core else 0.0
-            ready_deps = max(ready_deps, finish[p] + delay)
-        s = max(ready_core, ready_deps)
-        start[tid] = s
-        finish[tid] = s + effective_wcet[tid]
-        for nxt in succs_of[tid]:
-            indegree[nxt] -= 1
-            if indegree[nxt] == 0:
-                worklist.append(nxt)
-    if len(start) < len(position):
-        raise SystemWcetError("cyclic wait between core order and dependences")
-    intervals = {tid: Interval(start[tid], finish[tid]) for tid in start}
-    makespan = max((iv.end for iv in intervals.values()), default=0.0)
-    return intervals, makespan
+        #: tid -> [(pred, delay)]: dependence constraints with their priced
+        #: cross-core delays (0.0 for same-core edges), fixed per analysis
+        self._pred_delays: dict[str, list[tuple[str, float]]] = {
+            tid: [
+                (p, comm_delay(p, tid) if mapping[p] != position[tid][0] else 0.0)
+                for p in htg.predecessors(tid)
+                if p in position
+            ]
+            for tid in position
+        }
+        indegree = {tid: len(ps) for tid, ps in self._pred_delays.items()}
+        succs_of: dict[str, list[str]] = {tid: [] for tid in position}
+        for tid, ps in self._pred_delays.items():
+            for p, _ in ps:
+                succs_of[p].append(tid)
+        #: core-order chaining: the previous task on the core is one more
+        #: constraint (delay-free, same core by construction)
+        self._core_prev: dict[str, str] = {}
+        for tids in order.values():
+            for prev, nxt in zip(tids, tids[1:]):
+                succs_of[prev].append(nxt)
+                indegree[nxt] += 1
+                self._core_prev[nxt] = prev
+        self._succs_of = succs_of
+        self._indegree = indegree
+        self._sources = [tid for tid in position if indegree[tid] == 0]
+
+    def build(self, effective_wcet: dict[str, float]) -> tuple[dict[str, Interval], float]:
+        finish: dict[str, float] = {}
+        start: dict[str, float] = {}
+        indegree = dict(self._indegree)
+        core_prev = self._core_prev
+        worklist = list(self._sources)
+        while worklist:
+            tid = worklist.pop()
+            prev = core_prev.get(tid)
+            ready = finish[prev] if prev is not None else 0.0
+            for p, delay in self._pred_delays[tid]:
+                ready_p = finish[p] + delay
+                if ready_p > ready:
+                    ready = ready_p
+            start[tid] = ready
+            finish[tid] = ready + effective_wcet[tid]
+            for nxt in self._succs_of[tid]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    worklist.append(nxt)
+        if len(start) < len(self._position):
+            raise SystemWcetError("cyclic wait between core order and dependences")
+        intervals = {tid: Interval(start[tid], finish[tid]) for tid in start}
+        makespan = max((iv.end for iv in intervals.values()), default=0.0)
+        return intervals, makespan
+
+
+# ---------------------------------------------------------------------- #
+# MHP contender derivation (one pass per fixed-point iteration)
+# ---------------------------------------------------------------------- #
+def mhp_contenders_scalar(
+    leaf_ids: list[str],
+    sharers: list[str],
+    mapping: dict[str, int],
+    intervals: dict[str, Interval],
+) -> dict[str, int]:
+    """Reference double loop: distinct other cores with an overlapping sharer."""
+    contenders: dict[str, int] = {}
+    for tid in leaf_ids:
+        other_cores = set()
+        for other in sharers:
+            if other == tid or mapping[other] == mapping[tid]:
+                continue
+            if intervals[tid].overlaps(intervals[other]):
+                other_cores.add(mapping[other])
+        contenders[tid] = len(other_cores)
+    return contenders
+
+
+def mhp_contenders_vectorised(
+    leaf_ids: list[str],
+    sharers: list[str],
+    mapping: dict[str, int],
+    intervals: dict[str, Interval],
+) -> dict[str, int]:
+    """Vectorised contender pass, bit-for-bit equal to the double loop.
+
+    For each core hosting sharers, sort the sharer window starts and ends
+    once, then answer "does any sharer window on this core overlap task t's
+    window ``[s, e)``?" for *all* tasks with two ``searchsorted`` calls:
+    the overlap count is ``#(starts < e) - #(ends <= s)``.  Summing the
+    resulting booleans over cores (minus the task's own core) yields the
+    number of distinct contending cores.  Only float *comparisons* are
+    involved, so the counts match the scalar pass exactly.
+    """
+    if _np is None:  # pragma: no cover - the container ships numpy
+        return mhp_contenders_scalar(leaf_ids, sharers, mapping, intervals)
+
+    query_starts = _np.fromiter(
+        (intervals[tid].start for tid in leaf_ids), dtype=_np.float64, count=len(leaf_ids)
+    )
+    query_ends = _np.fromiter(
+        (intervals[tid].end for tid in leaf_ids), dtype=_np.float64, count=len(leaf_ids)
+    )
+    own_core = _np.fromiter(
+        (mapping[tid] for tid in leaf_ids), dtype=_np.int64, count=len(leaf_ids)
+    )
+
+    per_core: dict[int, list[str]] = {}
+    for sid in sharers:
+        per_core.setdefault(mapping[sid], []).append(sid)
+
+    counts = _np.zeros(len(leaf_ids), dtype=_np.int64)
+    for core, sids in per_core.items():
+        starts = _np.sort(
+            _np.fromiter((intervals[s].start for s in sids), dtype=_np.float64, count=len(sids))
+        )
+        ends = _np.sort(
+            _np.fromiter((intervals[s].end for s in sids), dtype=_np.float64, count=len(sids))
+        )
+        overlapping = (
+            _np.searchsorted(starts, query_ends, side="left")
+            - _np.searchsorted(ends, query_starts, side="right")
+        ) > 0
+        # a task never contends with its own core (this also removes the
+        # task's own window from its count, exactly like the double loop)
+        counts += overlapping & (own_core != core)
+    return {tid: int(counts[i]) for i, tid in enumerate(leaf_ids)}
+
+
+def _pick_mhp_pass(mhp_backend: str, num_tasks: int, num_sharers: int):
+    if mhp_backend == "scalar":
+        return mhp_contenders_scalar
+    if mhp_backend == "numpy":
+        if _np is None:
+            raise SystemWcetError("mhp_backend='numpy' requested but numpy is unavailable")
+        return mhp_contenders_vectorised
+    if mhp_backend != "auto":
+        raise SystemWcetError(f"unknown mhp_backend {mhp_backend!r}")
+    if _np is not None and num_tasks * num_sharers >= _VECTORISE_MIN_PAIRS:
+        return mhp_contenders_vectorised
+    return mhp_contenders_scalar
 
 
 def system_level_wcet(
@@ -126,8 +296,15 @@ def system_level_wcet(
     storage_override: dict[str, Storage] | None = None,
     max_iterations: int = 25,
     cache: "WcetAnalysisCache | None" = None,
+    mhp_backend: str = "auto",
 ) -> SystemWcetResult:
-    """Contention-aware multi-core WCET of a mapped and ordered HTG."""
+    """Contention-aware multi-core WCET of a mapped and ordered HTG.
+
+    ``mhp_backend`` selects the per-iteration MHP contender pass: ``"auto"``
+    (vectorised when numpy is available and the graph is large enough),
+    ``"numpy"`` or ``"scalar"``.  The backends are bit-for-bit identical;
+    the knob exists for benchmarking and differential testing.
+    """
     storage_override = storage_override or {}
     leaf_ids = [t.task_id for t in htg.leaf_tasks()]
     missing = [tid for tid in leaf_ids if tid not in mapping]
@@ -149,20 +326,7 @@ def system_level_wcet(
 
     num_cores = platform.num_cores
     comm_contenders = max(0, num_cores - 1)
-    comm_cache: dict[tuple[str, str], float] = {}
-
-    def comm_delay(src: str, dst: str) -> float:
-        key = (src, dst)
-        if key not in comm_cache:
-            edge = htg.edge(src, dst)
-            payload = edge.payload_bytes if edge is not None else 0
-            if payload == 0:
-                comm_cache[key] = 0.0
-            else:
-                comm_cache[key] = platform.communication_latency(
-                    payload, mapping[src], mapping[dst], comm_contenders
-                )
-        return comm_cache[key]
+    comm_delay = make_edge_latency(htg, platform, mapping, comm_contenders)
 
     effective = dict(base_wcet)
     contenders: dict[str, int] = {tid: 0 for tid in leaf_ids}
@@ -173,17 +337,11 @@ def system_level_wcet(
 
     # only tasks that actually touch shared resources can contend
     sharers = [tid for tid in leaf_ids if shared_accesses[tid] > 0]
+    mhp_pass = _pick_mhp_pass(mhp_backend, len(leaf_ids), len(sharers))
+    timeline = _TimelineBuilder(htg, mapping, order, comm_delay)
     for iterations in range(1, max_iterations + 1):
-        intervals, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
-        new_contenders: dict[str, int] = {}
-        for tid in leaf_ids:
-            other_cores = set()
-            for other in sharers:
-                if other == tid or mapping[other] == mapping[tid]:
-                    continue
-                if intervals[tid].overlaps(intervals[other]):
-                    other_cores.add(mapping[other])
-            new_contenders[tid] = len(other_cores)
+        intervals, makespan = timeline.build(effective)
+        new_contenders = mhp_pass(leaf_ids, sharers, mapping, intervals)
         new_effective = {
             tid: base_wcet[tid]
             + shared_accesses[tid] * models[mapping[tid]].shared_access_penalty(new_contenders[tid])
@@ -197,6 +355,11 @@ def system_level_wcet(
         contenders = new_contenders
     if not converged:
         # Safety fall-back: assume every other core contends on every access.
+        # The reported contender counts are re-derived from that assumption so
+        # they stay consistent with the worst-case effective WCETs below (for
+        # a monotone interconnect penalty the max() cannot pick the stale
+        # mid-iteration value; it only guards exotic non-monotone models).
+        contenders = {tid: comm_contenders for tid in leaf_ids}
         worst = {
             tid: base_wcet[tid]
             + shared_accesses[tid]
@@ -204,7 +367,7 @@ def system_level_wcet(
             for tid in leaf_ids
         }
         effective = {tid: max(effective[tid], worst[tid]) for tid in leaf_ids}
-        intervals, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
+        intervals, makespan = timeline.build(effective)
 
     interference = sum(effective[tid] - base_wcet[tid] for tid in leaf_ids)
     communication = sum(
@@ -221,7 +384,7 @@ def system_level_wcet(
         interference_cycles=interference,
         communication_cycles=communication,
         iterations=iterations,
-        converged=converged or True,
+        converged=converged,
     )
 
 
@@ -257,12 +420,6 @@ def contention_oblivious_bound(
             worst_contenders
         )
 
-    def comm_delay(src: str, dst: str) -> float:
-        edge = htg.edge(src, dst)
-        payload = edge.payload_bytes if edge is not None else 0
-        if payload == 0:
-            return 0.0
-        return platform.communication_latency(payload, mapping[src], mapping[dst], worst_contenders)
-
-    _, makespan = _build_timeline(htg, mapping, order, effective, comm_delay)
+    comm_delay = make_edge_latency(htg, platform, mapping, worst_contenders)
+    _, makespan = _TimelineBuilder(htg, mapping, order, comm_delay).build(effective)
     return makespan

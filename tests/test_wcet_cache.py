@@ -194,3 +194,209 @@ class TestCacheBehaviour:
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0
+
+
+def _heterogeneous_platform():
+    """Two identical Xentium-type cores with *distinct* processor objects,
+    plus one Leon3 core: the identical cores must share cache entries, the
+    different type must not."""
+    from repro.adl.architecture import Core, Platform
+    from repro.adl.interconnect import RoundRobinBus
+    from repro.adl.memory import scratchpad, shared_sram
+    from repro.adl.processor import leon3_processor, xentium_processor
+
+    cores = [
+        Core(core_id=0, processor=xentium_processor(), scratchpad=scratchpad("spm0", 32)),
+        Core(core_id=1, processor=xentium_processor(), scratchpad=scratchpad("spm1", 32)),
+        Core(core_id=2, processor=leon3_processor(), scratchpad=scratchpad("spm2", 32)),
+    ]
+    return Platform(
+        name="hetero2plus1",
+        cores=cores,
+        shared_memory=shared_sram(size_kib=512, latency=8),
+        interconnect=RoundRobinBus(),
+    )
+
+
+class TestHeterogeneousSharing:
+    def test_identical_core_types_share_entries(self):
+        model, htg, _ = build_case("workloads")
+        platform = _heterogeneous_platform()
+        cache = WcetAnalysisCache()
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(task, model.entry, HardwareCostModel(platform, 0), cache=cache)
+        misses = cache.stats.misses
+        # core 1 has the same cost signature through a distinct processor
+        # object: every lookup must hit
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(task, model.entry, HardwareCostModel(platform, 1), cache=cache)
+        assert cache.stats.misses == misses
+        # core 2 is a genuinely different processor type: all lookups miss
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(task, model.entry, HardwareCostModel(platform, 2), cache=cache)
+        assert cache.stats.misses == 2 * misses
+
+    def test_entries_shared_across_platform_rebuilds(self):
+        model, htg, _ = build_case("workloads")
+        cache = WcetAnalysisCache()
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(
+                task, model.entry, HardwareCostModel(_heterogeneous_platform(), 0), cache=cache
+            )
+        misses = cache.stats.misses
+        # a freshly built platform has all-new object identities but the same
+        # cost content, so the keys are identical
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(
+                task, model.entry, HardwareCostModel(_heterogeneous_platform(), 0), cache=cache
+            )
+        assert cache.stats.misses == misses
+
+    def test_hetero_results_match_uncached(self):
+        model, htg, _ = build_case("workloads")
+        platform = _heterogeneous_platform()
+        cache = WcetAnalysisCache()
+        for core_id in (0, 1, 2):
+            cost_model = HardwareCostModel(platform, core_id)
+            for task in htg.leaf_tasks():
+                plain = analyze_task_wcet(task, model.entry, cost_model)
+                cached = analyze_task_wcet(task, model.entry, cost_model, cache=cache)
+                assert (plain.total, plain.shared_accesses) == (cached.total, cached.shared_accesses)
+
+
+class TestDiskPersistence:
+    def _analyze_all(self, cache):
+        model, htg, platform = build_case("workloads")
+        totals = {}
+        for task in htg.leaf_tasks():
+            breakdown = analyze_task_wcet(
+                task, model.entry, HardwareCostModel(platform, 0), cache=cache
+            )
+            totals[task.task_id] = (
+                breakdown.total,
+                breakdown.compute,
+                breakdown.memory,
+                breakdown.control,
+                breakdown.shared_accesses,
+            )
+        return totals
+
+    def test_roundtrip_across_cache_instances(self, tmp_path):
+        first = WcetAnalysisCache.open(tmp_path / "cache")
+        cold = self._analyze_all(first)
+        assert first.stats.misses > 0
+        assert first.flush() == first.stats.misses
+        assert first.flush() == 0  # nothing new: idempotent
+
+        # a fresh instance (fresh platform/IR objects too) must hit disk only
+        second = WcetAnalysisCache.open(tmp_path / "cache")
+        warm = self._analyze_all(second)
+        assert warm == cold
+        assert second.stats.misses == 0
+        assert second.stats.disk_hits == len(cold)
+
+    def test_entries_live_under_version_dir(self, tmp_path):
+        from repro.wcet.cache import CACHE_SCHEMA_VERSION
+
+        cache = WcetAnalysisCache.open(tmp_path / "cache")
+        self._analyze_all(cache)
+        cache.flush()
+        vdir = tmp_path / "cache" / f"v{CACHE_SCHEMA_VERSION}"
+        assert (vdir / "entries.jsonl").exists()
+        assert (vdir / "stats.jsonl").exists()
+
+    def test_foreign_versions_and_torn_lines_are_ignored(self, tmp_path):
+        from repro.wcet.cache import CACHE_SCHEMA_VERSION
+
+        cache_dir = tmp_path / "cache"
+        # stale schema version: must not be read
+        (cache_dir / "v0").mkdir(parents=True)
+        (cache_dir / "v0" / "entries.jsonl").write_text('{"key":"stale","total":1}\n')
+        cache = WcetAnalysisCache.open(cache_dir)
+        assert len(cache) == 0
+        self._analyze_all(cache)
+        cache.flush()
+        # a torn concurrent append must not break loading
+        entries = cache_dir / f"v{CACHE_SCHEMA_VERSION}" / "entries.jsonl"
+        with entries.open("a") as fh:
+            fh.write('{"key": "torn", "tot')
+        reloaded = WcetAnalysisCache.open(cache_dir)
+        assert len(reloaded) == len(cache)
+
+    def test_read_cache_dir_stats_aggregates(self, tmp_path):
+        from repro.wcet.cache import read_cache_dir_stats
+
+        cache_dir = tmp_path / "cache"
+        assert read_cache_dir_stats(cache_dir)["entries"] == 0
+        first = WcetAnalysisCache.open(cache_dir)
+        self._analyze_all(first)
+        first.flush()
+        second = WcetAnalysisCache.open(cache_dir)
+        self._analyze_all(second)
+        second.flush()
+        totals = read_cache_dir_stats(cache_dir)
+        assert totals["entries"] == len(first)
+        assert totals["misses"] == first.stats.misses
+        assert totals["disk_hits"] == second.stats.disk_hits
+        assert totals["flushed"] == len(first)
+
+    def test_reattach_flushes_everything_to_new_dir(self, tmp_path):
+        cache = WcetAnalysisCache.open(tmp_path / "a")
+        self._analyze_all(cache)
+        cache.flush()
+        entry_count = len(cache)
+        # switching directories must make every in-memory entry flushable
+        # again, so the new directory gets a complete copy
+        cache.load(tmp_path / "b")
+        assert cache.flush() == entry_count
+        assert len(WcetAnalysisCache.open(tmp_path / "b")) == entry_count
+
+    def test_noop_flush_does_not_touch_disk(self, tmp_path):
+        cache = WcetAnalysisCache()
+        cache.load(tmp_path / "cache")
+        import shutil
+
+        shutil.rmtree(tmp_path / "cache")
+        assert cache.flush() == 0  # nothing to write: directory not recreated
+        assert not (tmp_path / "cache").exists()
+
+    def test_memos_do_not_pin_analysed_objects(self):
+        import gc
+        import weakref
+
+        from repro.ir.builder import FunctionBuilder
+
+        fb = FunctionBuilder("ephemeral")
+        x = fb.local("x")
+        fb.assign(x, 1)
+        func = fb.build()
+        platform = generic_predictable_multicore(cores=2)
+        cache = WcetAnalysisCache()
+        cache.function_wcet(func, HardwareCostModel(platform, 0))
+        ref = weakref.ref(func)
+        del func, fb, x
+        gc.collect()
+        # the analysed function must be collectable; its identity memos must
+        # go with it so a process-lifetime shared cache cannot leak IR trees
+        assert ref() is None
+        assert not cache._function_fps
+        assert not cache._region_fps
+        assert len(cache) == 1  # the content-addressed entry itself stays
+
+    def test_shared_cache_honours_env_var(self, tmp_path, monkeypatch):
+        from repro.wcet.cache import CACHE_DIR_ENV_VAR, reset_shared_cache, shared_cache
+
+        cache_dir = tmp_path / "shared"
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(cache_dir))
+        reset_shared_cache()
+        try:
+            cache = shared_cache()
+            assert cache.cache_dir == cache_dir
+            assert shared_cache() is cache
+            self._analyze_all(cache)
+        finally:
+            reset_shared_cache()  # flushes, then detaches from the env var
+        assert (cache_dir / "v1" / "entries.jsonl").exists()
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR)
+        reset_shared_cache()
+        assert shared_cache().cache_dir is None
