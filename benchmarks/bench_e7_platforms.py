@@ -4,8 +4,11 @@ Claim (paper Sections II-A, IV-C): the ADL lets the same application target
 different multi-/many-core platforms (Recore Xentium-style and KIT
 Leon3/iNoC-style); the flow, not the application, absorbs the platform
 differences.  The table shows the POLKA application compiled to the three
-platform families.
+platform families -- executed as one design-space sweep through
+:func:`repro.core.sweep.sweep` instead of a hand-rolled loop.
 """
+
+from functools import partial
 
 import pytest
 
@@ -15,34 +18,44 @@ from repro.adl.platforms import (
     kit_leon3_inoc,
     recore_xentium_like,
 )
-from repro.core import ArgoToolchain, ToolchainConfig
+from repro.core import ToolchainConfig, sweep
 from repro.usecases import build_polka_diagram
 from repro.utils.tables import Table
 
 PLATFORMS = {
-    "generic RR-bus (4 cores)": lambda: generic_predictable_multicore(cores=4),
-    "Recore Xentium-like (4 DSPs, crossbar)": lambda: recore_xentium_like(dsp_cores=4, control_cores=0),
-    "KIT Leon3 + iNoC (2x2 tiles)": lambda: kit_leon3_inoc(mesh_width=2, mesh_height=2, cores_per_tile=1),
+    "generic RR-bus (4 cores)": partial(generic_predictable_multicore, cores=4),
+    "Recore Xentium-like (4 DSPs, crossbar)": partial(
+        recore_xentium_like, dsp_cores=4, control_cores=0
+    ),
+    "KIT Leon3 + iNoC (2x2 tiles)": partial(
+        kit_leon3_inoc, mesh_width=2, mesh_height=2, cores_per_tile=1
+    ),
 }
 
 
 def test_e7_platform_retargeting(benchmark):
-    def sweep():
-        rows = []
-        for name, factory in PLATFORMS.items():
-            platform = factory()
-            result = ArgoToolchain(platform, ToolchainConfig(loop_chunks=2)).run(
-                build_polka_diagram(pixels=64)
-            )
-            rows.append((name, platform.num_cores, result.sequential_wcet, result.system_wcet, result.wcet_speedup))
-        return rows
+    def run_sweep():
+        return sweep(
+            diagrams=[partial(build_polka_diagram, pixels=64)],
+            platforms=list(PLATFORMS.values()),
+            configs=[ToolchainConfig(loop_chunks=2)],
+        )
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert result.ok, result.failures()
     table = Table(
         ["platform", "cores", "sequential WCET", "parallel WCET", "speedup"],
         title="E7 POLKA retargeted across ADL platform presets",
     )
-    for row in rows:
-        table.add_row(list(row))
+    for label, factory, outcome in zip(PLATFORMS, PLATFORMS.values(), result):
+        table.add_row(
+            [
+                label,
+                factory().num_cores,
+                outcome.sequential_wcet,
+                outcome.system_wcet,
+                outcome.wcet_speedup,
+            ]
+        )
     emit(table)
-    assert all(row[3] > 0 for row in rows)
+    assert all(outcome.system_wcet > 0 for outcome in result)

@@ -21,6 +21,15 @@ drives to zero::
 
     python benchmarks/run_all.py --cache-dir .wcet_cache --tag cold
     python benchmarks/run_all.py --cache-dir .wcet_cache --tag warm
+
+``--sweep`` additionally runs a design-space sweep smoke test through the
+parallel sweep runner (``repro.core.sweep``): a 2 diagrams x 2 platforms x 2
+schedulers grid executed with ``--sweep-workers`` worker processes, verified
+bit-identical against the equivalent sequential loop, and recorded in the
+BENCH record.  ``--skip-benchmarks`` runs only the sweep (the CI smoke
+mode)::
+
+    python benchmarks/run_all.py --sweep --skip-benchmarks --tag ci-smoke
 """
 
 from __future__ import annotations
@@ -42,6 +51,56 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.wcet.cache import CACHE_DIR_ENV_VAR, read_cache_dir_stats  # noqa: E402
+
+
+def run_sweep_smoke(max_workers: int, cache_dir: Path | None) -> dict:
+    """A small design-space sweep through the parallel runner.
+
+    Runs the grid twice -- once with worker processes, once as the
+    equivalent sequential loop -- and checks the WCET bounds are
+    bit-identical, which is the correctness contract of the sweep runner.
+    """
+    from functools import partial
+
+    from repro.adl.platforms import generic_predictable_multicore, recore_xentium_like
+    from repro.core import ToolchainConfig, sweep
+    from repro.usecases import build_egpws_diagram, build_polka_diagram
+
+    grid = dict(
+        diagrams=[
+            partial(build_egpws_diagram, lookahead=16),
+            partial(build_polka_diagram, pixels=32),
+        ],
+        platforms=[
+            partial(generic_predictable_multicore, cores=4),
+            partial(recore_xentium_like, dsp_cores=4, control_cores=0),
+        ],
+        configs=[
+            ToolchainConfig(loop_chunks=2, scheduler="wcet_list"),
+            ToolchainConfig(loop_chunks=2, scheduler="sequential"),
+        ],
+    )
+    cache = str(cache_dir) if cache_dir is not None else None
+    parallel = sweep(**grid, max_workers=max_workers, cache_dir=cache)
+    sequential = sweep(**grid, max_workers=1, cache_dir=cache)
+    identical = all(
+        (a.system_wcet, a.sequential_wcet) == (b.system_wcet, b.sequential_wcet)
+        for a, b in zip(parallel, sequential)
+    )
+    print(parallel.render(f"sweep smoke ({parallel.max_workers} workers)"))
+    print(
+        f"[run_all] sweep: {len(parallel)} cases in {parallel.seconds:.2f}s "
+        f"(sequential loop: {sequential.seconds:.2f}s), "
+        f"bounds bit-identical: {identical}"
+    )
+    return {
+        "cases": parallel.as_dicts(),
+        "max_workers": parallel.max_workers,
+        "seconds_parallel": round(parallel.seconds, 3),
+        "seconds_sequential": round(sequential.seconds, 3),
+        "all_passed": parallel.ok and sequential.ok and identical,
+        "bounds_identical_to_sequential_loop": identical,
+    }
 
 
 def discover_benchmarks() -> list[Path]:
@@ -106,6 +165,22 @@ def main(argv: list[str] | None = None) -> int:
         "subprocesses and record cache hit/miss counts in the BENCH record",
     )
     parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also run the parallel design-space sweep smoke test and record it",
+    )
+    parser.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=2,
+        help="worker processes of the sweep smoke test (default: 2)",
+    )
+    parser.add_argument(
+        "--skip-benchmarks",
+        action="store_true",
+        help="skip the bench_eN experiments (useful with --sweep for a quick smoke run)",
+    )
+    parser.add_argument(
         "--pytest-args",
         nargs=argparse.REMAINDER,
         default=[],
@@ -113,12 +188,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    benchmarks = discover_benchmarks()
-    if args.only:
+    benchmarks = [] if args.skip_benchmarks else discover_benchmarks()
+    if args.only and not args.skip_benchmarks:
         benchmarks = [
             p for p in benchmarks if any(token in p.stem for token in args.only)
         ]
-    if not benchmarks:
+    if not benchmarks and not args.sweep:
         print("no benchmark modules matched", file=sys.stderr)
         return 2
 
@@ -146,15 +221,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[run_all]   {status} in {record['seconds']:.1f}s  ({record['summary']})")
         results.append(record)
 
+    sweep_record = None
+    if args.sweep:
+        print("[run_all] sweep smoke ...", flush=True)
+        sweep_record = run_sweep_smoke(args.sweep_workers, cache_dir)
+
     record = {
         "created_unix": time.time(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform_module.platform(),
         "total_seconds": round(sum(r["seconds"] for r in results), 3),
-        "all_passed": all(r["passed"] for r in results),
+        "all_passed": all(r["passed"] for r in results)
+        and (sweep_record is None or sweep_record["all_passed"]),
         "results": results,
     }
+    if sweep_record is not None:
+        record["sweep"] = sweep_record
     if cache_dir is not None:
         end_stats = read_cache_dir_stats(cache_dir)
         sweep = {

@@ -29,6 +29,8 @@ def main() -> None:
     print(f"  guaranteed speed-up   : {result.wcet_speedup:.2f}x")
     at_100mhz_us = platform.cores[0].processor.cycles_to_seconds(result.system_wcet) * 1e6
     print(f"  worst-case period     : {at_100mhz_us:.1f} us at {platform.cores[0].processor.clock_mhz:.0f} MHz")
+    stage_ms = ", ".join(f"{name} {1000 * s:.1f}ms" for name, s in result.timings.items())
+    print(f"  pipeline stages       : {stage_ms}")
     print()
     print(bottleneck_report(result.htg, result.schedule))
     print()

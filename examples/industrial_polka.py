@@ -1,7 +1,8 @@
 """Industrial image-processing use case: POLKA glass-stress inspection.
 
 Compiles the polarization-camera inspection pipeline for the two many-core
-platform families of the paper (Recore Xentium-like and KIT Leon3 + iNoC),
+platform families of the paper (Recore Xentium-like and KIT Leon3 + iNoC)
+as one design-space sweep over the platform axis (``repro.core.sweep``),
 compares the guaranteed WCET on both, and runs the inspection on a stressed
 and an unstressed synthetic container.
 
@@ -14,7 +15,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.adl.platforms import kit_leon3_inoc, recore_xentium_like
-from repro.core import ArgoToolchain, ToolchainConfig
+from repro.core import ArgoToolchain, SweepCase, ToolchainConfig, sweep
 from repro.usecases import build_polka_diagram, polka_test_inputs
 from repro.utils.tables import Table
 
@@ -26,31 +27,44 @@ def main() -> None:
         "KIT Leon3 + iNoC 2x2": kit_leon3_inoc(mesh_width=2, mesh_height=2, cores_per_tile=1),
     }
 
+    # One sweep over the platform axis; full results are kept so the best
+    # configuration can be simulated afterwards.
+    comparison = sweep(
+        [
+            SweepCase(
+                diagram=build_polka_diagram(pixels),
+                platform=platform,
+                config=ToolchainConfig(loop_chunks=4),
+                label=name,
+            )
+            for name, platform in platforms.items()
+        ],
+        keep_results=True,
+    )
     table = Table(
         ["platform", "cores", "sequential WCET", "parallel WCET", "speedup", "line rate (lines/s)"],
         title=f"POLKA inspection, {pixels}-pixel line segments",
     )
-    results = {}
-    for name, platform in platforms.items():
-        toolchain = ArgoToolchain(platform, ToolchainConfig(loop_chunks=4))
-        result = toolchain.run(build_polka_diagram(pixels))
-        results[name] = (toolchain, result)
+    for outcome in comparison:
+        platform = platforms[outcome.label]
         clock = platform.cores[0].processor
-        period_s = clock.cycles_to_seconds(result.system_wcet)
+        period_s = clock.cycles_to_seconds(outcome.system_wcet)
         table.add_row(
             [
-                name,
+                outcome.label,
                 platform.num_cores,
-                result.sequential_wcet,
-                result.system_wcet,
-                result.wcet_speedup,
+                outcome.sequential_wcet,
+                outcome.system_wcet,
+                outcome.wcet_speedup,
                 f"{1.0 / period_s:,.0f}",
             ]
         )
     print(table.render())
     print()
 
-    toolchain, result = results["Recore Xentium-like"]
+    recore_outcome = next(o for o in comparison if o.label == "Recore Xentium-like")
+    result = recore_outcome.result
+    toolchain = ArgoToolchain(platforms["Recore Xentium-like"], result.config)
     for label, stressed in (("stressed container", True), ("good container", False)):
         sim = toolchain.simulate(result, polka_test_inputs(pixels, seed=3, stressed=stressed))
         reject = sim.observed_value(result.model.output_key("reject", "y"))

@@ -2,8 +2,10 @@
 
 Runs the wake-vortex prediction / conflict detection / evasion pipeline
 through the ARGO flow, comparing the WCET-aware scheduler against the
-average-case baseline and the sequential bound, then exercises the advisory
-logic on an encounter scenario.
+average-case baseline and the sequential bound -- executed as one
+design-space sweep over schedulers (``repro.core.sweep``) instead of a
+hand-rolled loop -- then exercises the advisory logic on an encounter
+scenario.
 
 Run with:  python examples/wake_avoidance_weaa.py
 """
@@ -14,7 +16,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.adl.platforms import generic_predictable_multicore
-from repro.core import ArgoToolchain, ToolchainConfig
+from repro.core import ArgoToolchain, SweepCase, ToolchainConfig, sweep
 from repro.usecases import build_weaa_diagram, weaa_test_inputs
 from repro.utils.tables import Table
 
@@ -22,29 +24,41 @@ from repro.utils.tables import Table
 def main() -> None:
     horizon = 24
     platform = generic_predictable_multicore(cores=4)
+    schedulers = {
+        "sequential": "sequential",
+        "average-case list": "acet_list",
+        "WCET-aware list": "wcet_list",
+        "simulated annealing": "simulated_annealing",
+    }
 
+    # One in-process sweep over the scheduler axis; all candidate flows share
+    # the analysis cache, and the full results are kept for simulation below.
+    comparison = sweep(
+        [
+            SweepCase(
+                diagram=build_weaa_diagram(horizon),
+                platform=platform,
+                config=ToolchainConfig(loop_chunks=4, scheduler=scheduler),
+                label=label,
+            )
+            for label, scheduler in schedulers.items()
+        ],
+        keep_results=True,
+    )
     table = Table(
         ["configuration", "guaranteed WCET", "speedup vs sequential"],
         title="WEAA scheduling comparison (4 cores)",
     )
-    results = {}
-    for label, scheduler in (
-        ("sequential", "sequential"),
-        ("average-case list", "acet_list"),
-        ("WCET-aware list", "wcet_list"),
-        ("simulated annealing", "simulated_annealing"),
-    ):
-        toolchain = ArgoToolchain(
-            platform, ToolchainConfig(loop_chunks=4, scheduler=scheduler)
+    for outcome in comparison:
+        table.add_row(
+            [outcome.label, outcome.system_wcet, outcome.sequential_wcet / outcome.system_wcet]
         )
-        result = toolchain.run(build_weaa_diagram(horizon))
-        results[label] = (toolchain, result)
-        sequential = result.sequential_wcet
-        table.add_row([label, result.system_wcet, sequential / result.system_wcet])
     print(table.render())
     print()
 
-    toolchain, result = results["WCET-aware list"]
+    wcet_outcome = next(o for o in comparison if o.label == "WCET-aware list")
+    result = wcet_outcome.result
+    toolchain = ArgoToolchain(platform, result.config)
     for label, encounter in (("wake encounter ahead", True), ("clear air", False)):
         sim = toolchain.simulate(result, weaa_test_inputs(horizon, seed=5, encounter=encounter))
         conflict = sim.observed_value(result.model.output_key("conflict", "y"))

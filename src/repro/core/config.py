@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 
-VALID_SCHEDULERS = ("wcet_list", "acet_list", "sequential", "simulated_annealing", "genetic", "bnb")
 VALID_GRANULARITIES = ("block", "loop")
+
+#: Kept for backwards compatibility; the authoritative list is the scheduler
+#: registry (:func:`repro.scheduling.registry.available_schedulers`), which
+#: also contains any third-party registrations.
+VALID_SCHEDULERS = ("wcet_list", "acet_list", "sequential", "simulated_annealing", "genetic", "bnb")
 
 
 @dataclass
@@ -14,14 +19,23 @@ class ToolchainConfig:
 
     These are the decisions the paper says end users should be able to
     "control and influence" (Section II-E): task granularity, the number of
-    loop chunks, the scheduler, how many cores to use, whether to run the
-    predictability transformations and how many feedback iterations to spend.
+    loop chunks, the scheduler, how many cores to use, which predictability
+    transformations to run and how many feedback iterations to spend.
+
+    ``scheduler`` and ``passes`` are resolved *by name* through the plugin
+    registries (:mod:`repro.scheduling.registry`,
+    :mod:`repro.transforms.registry`), so third-party strategies registered
+    before the config is built are accepted exactly like the built-ins.
     """
 
     granularity: str = "loop"
     loop_chunks: int = 4
     scheduler: str = "wcet_list"
     max_cores: int | None = None
+    #: Ordered names of the transformation passes to run (resolved through
+    #: the transforms registry).  ``None`` derives the pipeline from the
+    #: legacy boolean knobs below, which keeps old call sites working.
+    passes: tuple[str, ...] | None = None
     run_cleanup_passes: bool = True
     allocate_scratchpads: bool = True
     #: None = use the smallest core scratchpad of the platform.
@@ -31,15 +45,58 @@ class ToolchainConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # Registries are imported lazily: config is a leaf module and the
+        # registries pull in the scheduling / transforms packages.
+        from repro.scheduling.registry import available_schedulers
+        from repro.transforms.registry import available_passes
+
         if self.granularity not in VALID_GRANULARITIES:
             raise ValueError(
                 f"granularity must be one of {VALID_GRANULARITIES}, got {self.granularity!r}"
             )
-        if self.scheduler not in VALID_SCHEDULERS:
+        registered = available_schedulers()
+        if self.scheduler not in registered:
             raise ValueError(
-                f"scheduler must be one of {VALID_SCHEDULERS}, got {self.scheduler!r}"
+                f"scheduler must be one of the registered schedulers {registered}, "
+                f"got {self.scheduler!r}"
             )
         if self.loop_chunks < 1:
             raise ValueError("loop_chunks must be at least 1")
         if self.feedback_iterations < 1:
             raise ValueError("feedback_iterations must be at least 1")
+        if self.max_cores is not None and self.max_cores < 1:
+            raise ValueError(f"max_cores must be at least 1 (or None = all), got {self.max_cores}")
+        if not math.isfinite(self.contention_weight) or self.contention_weight < 0:
+            raise ValueError(
+                f"contention_weight must be a finite non-negative number, "
+                f"got {self.contention_weight!r}"
+            )
+        if self.scratchpad_capacity_bytes is not None and self.scratchpad_capacity_bytes < 1:
+            raise ValueError(
+                "scratchpad_capacity_bytes must be at least 1 (or None = platform minimum), "
+                f"got {self.scratchpad_capacity_bytes}"
+            )
+        if self.passes is not None:
+            self.passes = tuple(self.passes)
+            known = available_passes()
+            for name in self.passes:
+                if name not in known:
+                    raise ValueError(
+                        f"unknown transformation pass {name!r}; registered passes: {known}"
+                    )
+
+    def effective_passes(self) -> tuple[str, ...]:
+        """The ordered pass pipeline this config asks for.
+
+        ``passes`` wins when set; otherwise the pipeline is derived from the
+        legacy boolean knobs (``run_cleanup_passes``,
+        ``allocate_scratchpads``).
+        """
+        if self.passes is not None:
+            return self.passes
+        names: list[str] = []
+        if self.run_cleanup_passes:
+            names += ["constant_folding", "dead_code_elimination"]
+        if self.allocate_scratchpads:
+            names.append("scratchpad_allocation")
+        return tuple(names)

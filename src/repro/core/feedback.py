@@ -6,6 +6,12 @@ granularity, number of loop chunks, scheduler, contention weight), re-runs
 the flow and keeps the configuration with the lowest guaranteed WCET.  The
 history of attempted configurations is retained so the cross-layer interface
 can show end users *why* the final parallelization decisions were taken.
+
+Each round's neighbourhood is executed through the sweep API
+(:func:`repro.core.sweep.sweep`) in in-process mode, so every candidate
+shares the driver's live analysis cache: cache entries are content
+addressed, so candidates whose transforms leave (parts of) the IR unchanged
+reuse the code-level analyses of earlier iterations for free.
 """
 
 from __future__ import annotations
@@ -61,7 +67,7 @@ class CrossLayerFeedback:
 
     def optimize(self, diagram: "Diagram") -> "ToolchainResult":
         """Run up to ``config.feedback_iterations`` rounds and return the best."""
-        from repro.core.toolchain import ArgoToolchain
+        from repro.core.sweep import SweepCase, sweep
 
         base_config = self.toolchain.config
         iterations = base_config.feedback_iterations
@@ -69,16 +75,34 @@ class CrossLayerFeedback:
         best_config = dataclasses.replace(base_config, feedback_iterations=1)
 
         for iteration in range(1, iterations + 1):
+            candidates = self._candidates(best_config, iteration)
+            # One in-process mini-sweep per neighbourhood, sharing the
+            # driver's analysis cache across all candidate chains.
+            round_result = sweep(
+                [
+                    SweepCase(
+                        diagram=diagram,
+                        platform=self.toolchain.platform,
+                        config=candidate,
+                        label=f"iter{iteration}",
+                    )
+                    for candidate in candidates
+                ],
+                cache=self.toolchain.wcet_cache,
+                keep_results=True,
+            )
             improved = False
-            for candidate in self._candidates(best_config, iteration):
-                # Every candidate chain shares the driver's analysis cache:
-                # cache entries are content addressed, so candidates whose
-                # transforms leave (parts of) the IR unchanged reuse the
-                # code-level analyses of earlier iterations for free.
-                chain = ArgoToolchain(
-                    self.toolchain.platform, candidate, wcet_cache=self.toolchain.wcet_cache
-                )
-                result = chain.run_once(diagram)
+            for candidate, outcome in zip(candidates, round_result):
+                if not outcome.ok:
+                    # propagate the candidate's failure exactly as the flow
+                    # raised it (type and traceback intact)
+                    if outcome.exception is not None:
+                        raise outcome.exception
+                    raise RuntimeError(
+                        f"feedback candidate {candidate} failed: {outcome.error}"
+                    )
+                result = outcome.result
+                assert result is not None
                 accepted = best_result is None or result.system_wcet < best_result.system_wcet
                 self.history.append(
                     FeedbackHistoryEntry(

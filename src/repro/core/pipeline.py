@@ -1,0 +1,511 @@
+"""The composable pipeline behind the ARGO flow (paper Fig. 1).
+
+The flow -- model -> IR -> transformations -> HTG -> schedule -> parallel
+program -> WCET -- is expressed as a :class:`Pipeline` of named
+:class:`Stage` objects forming a small dataflow graph: every stage declares
+the typed artifacts it ``consumes`` and ``produces``, the pipeline checks
+the graph (each artifact produced exactly once, no missing inputs, no
+cycles) and runs the stages in dependency order.  Each run yields a
+:class:`PipelineResult` carrying the artifacts plus per-stage wall-clock
+timings, the transformation pass reports and the WCET-cache hit/miss deltas.
+
+The two variation points are plugin registries, so new behaviour needs no
+core changes:
+
+* the ``schedule`` stage resolves ``config.scheduler`` through
+  :mod:`repro.scheduling.registry`;
+* the ``transforms`` stage resolves ``config.effective_passes()`` through
+  :mod:`repro.transforms.registry`.
+
+Custom stages slot in through :meth:`Pipeline.with_stage` /
+:meth:`Pipeline.replace_stage`, e.g. an extra analysis stage consuming
+``schedule`` -- the dependency graph, not the insertion order, decides when
+it runs.
+
+:class:`~repro.core.toolchain.ArgoToolchain` is a thin compatibility facade
+over this module, and :func:`repro.core.sweep.sweep` runs whole grids of
+(diagram, platform, config) combinations through :func:`run_pipeline`
+concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.adl.architecture import Platform
+from repro.core.config import ToolchainConfig
+from repro.core.exceptions import ToolchainError
+from repro.frontend import CompiledModel, compile_diagram
+from repro.htg import HierarchicalTaskGraph, extract_htg
+from repro.htg.extraction import ExtractionOptions
+from repro.model.diagram import Diagram
+from repro.parallel import ParallelProgram, build_parallel_program
+from repro.scheduling.registry import get_scheduler
+from repro.scheduling.schedule import Schedule
+from repro.sim import SimulationResult, simulate_parallel_program
+from repro.transforms import PassManager
+from repro.transforms.base import PassReport
+from repro.transforms.registry import PassContext, build_pass_pipeline
+from repro.wcet import HardwareCostModel
+from repro.wcet.cache import WcetAnalysisCache, shared_cache
+from repro.wcet.code_level import analyze_function_wcet
+
+
+class PipelineError(ToolchainError):
+    """A malformed stage graph or a stage contract violation."""
+
+
+#: Artifacts available before any stage runs.
+INITIAL_ARTIFACTS = ("diagram", "platform", "config")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of the flow.
+
+    ``run`` receives the :class:`PipelineContext` and returns a mapping of
+    the artifacts it produces (it must cover exactly ``produces``).  Extra
+    diagnostic values can be recorded in ``context.info``; they end up in the
+    stage's :class:`StageRecord`.
+    """
+
+    name: str
+    run: Callable[["PipelineContext"], Mapping[str, Any]]
+    consumes: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
+    description: str = ""
+
+
+@dataclass
+class StageRecord:
+    """What one stage did during one run (for the cross-layer report)."""
+
+    name: str
+    seconds: float
+    produced: tuple[str, ...] = ()
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the stages of one run."""
+
+    diagram: Diagram
+    platform: Platform
+    config: ToolchainConfig
+    wcet_cache: WcetAnalysisCache
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    #: Per-stage scratch: diagnostic values for the current StageRecord.
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def artifact(self, name: str) -> Any:
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise PipelineError(f"artifact {name!r} has not been produced yet") from None
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced for a diagram/platform pair.
+
+    This is the result type ``ArgoToolchain.run`` returns (the legacy name
+    ``ToolchainResult`` is an alias).  The sequential single-core bound is a
+    proper constructor field (``sequential_bound``); ``sequential_wcet`` /
+    ``wcet_speedup`` / ``metadata_sequential`` remain as compatibility
+    properties.
+    """
+
+    diagram_name: str
+    platform_name: str
+    config: ToolchainConfig
+    model: CompiledModel
+    htg: HierarchicalTaskGraph
+    schedule: Schedule
+    parallel_program: ParallelProgram
+    sequential_bound: float = 0.0
+    pass_reports: list[PassReport] = field(default_factory=list)
+    stage_records: list[StageRecord] = field(default_factory=list)
+    #: Every artifact of the run, including those of custom stages.
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    #: WCET-cache counter deltas of this run: hits / disk_hits / misses.
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def system_wcet(self) -> float:
+        """Guaranteed multi-core WCET bound (cycles)."""
+        return self.schedule.wcet_bound
+
+    @property
+    def sequential_wcet(self) -> float:
+        """Single-core WCET bound of the whole step function (cycles)."""
+        return self.sequential_bound
+
+    @property
+    def wcet_speedup(self) -> float:
+        """Sequential WCET divided by the parallel WCET bound."""
+        if self.system_wcet <= 0:
+            return 1.0
+        return self.sequential_bound / self.system_wcet
+
+    #: Compatibility shim for the pre-pipeline field name.
+    @property
+    def metadata_sequential(self) -> float:
+        return self.sequential_bound
+
+    @metadata_sequential.setter
+    def metadata_sequential(self, value: float) -> None:
+        self.sequential_bound = value
+
+    # ------------------------------------------------------------------ #
+    @property
+    def timings(self) -> dict[str, float]:
+        """Per-stage wall-clock seconds, in execution order."""
+        return {record.name: record.seconds for record in self.stage_records}
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stage_records:
+            if record.name == name:
+                return record
+        raise KeyError(f"no stage record named {name!r}")
+
+
+# ---------------------------------------------------------------------- #
+# built-in stages
+# ---------------------------------------------------------------------- #
+def _frontend_stage(context: PipelineContext) -> dict[str, Any]:
+    model = compile_diagram(context.diagram)
+    context.info["blocks"] = len(model.block_regions)
+    return {"model": model}
+
+
+def _transforms_stage(context: PipelineContext) -> dict[str, Any]:
+    model: CompiledModel = context.artifact("model")
+    names = context.config.effective_passes()
+    passes = build_pass_pipeline(
+        names, PassContext(platform=context.platform, config=context.config, model=model)
+    )
+    manager = PassManager()
+    for pass_ in passes:
+        manager.add(pass_)
+    reports = manager.run(model.entry)
+    context.info["passes"] = list(names)
+    context.info["changed"] = sum(1 for r in reports if r.changed)
+    # the IR object is transformed in place; re-expose it under a new name so
+    # downstream stages depend on the *transformed* model by construction
+    return {"transformed_model": model, "pass_reports": reports}
+
+
+def _htg_stage(context: PipelineContext) -> dict[str, Any]:
+    model: CompiledModel = context.artifact("transformed_model")
+    options = ExtractionOptions(
+        granularity=context.config.granularity,
+        loop_chunks=context.config.loop_chunks,
+    )
+    htg = extract_htg(model, options)
+    cost_model = HardwareCostModel(context.platform, context.platform.cores[0].core_id)
+    context.wcet_cache.annotate_htg(htg, model.entry, cost_model)
+    context.info["tasks"] = len(htg.leaf_tasks())
+    return {"htg": htg}
+
+
+def _schedule_stage(context: PipelineContext) -> dict[str, Any]:
+    model: CompiledModel = context.artifact("transformed_model")
+    htg: HierarchicalTaskGraph = context.artifact("htg")
+    entry = get_scheduler(context.config.scheduler)
+    schedule = entry.build(
+        htg, model.entry, context.platform, context.config, context.wcet_cache
+    )
+    context.info["scheduler"] = entry.name
+    context.info["cores_used"] = schedule.num_cores_used
+    return {"schedule": schedule}
+
+
+def _parallel_stage(context: PipelineContext) -> dict[str, Any]:
+    model: CompiledModel = context.artifact("transformed_model")
+    program = build_parallel_program(
+        context.artifact("htg"), model.entry, context.platform, context.artifact("schedule")
+    )
+    context.info["sync_ops"] = program.num_sync_ops
+    return {"parallel_program": program}
+
+
+def _wcet_stage(context: PipelineContext) -> dict[str, Any]:
+    model: CompiledModel = context.artifact("transformed_model")
+    sequential_bound = analyze_function_wcet(
+        model.entry,
+        HardwareCostModel(context.platform, context.platform.cores[0].core_id),
+        cache=context.wcet_cache,
+    ).total
+    context.info["system_wcet"] = context.artifact("schedule").wcet_bound
+    context.info["sequential_wcet"] = sequential_bound
+    return {"sequential_bound": sequential_bound}
+
+
+def default_stages() -> tuple[Stage, ...]:
+    """The six built-in stages of the Fig. 1 flow."""
+    return (
+        Stage(
+            name="frontend",
+            run=_frontend_stage,
+            consumes=("diagram",),
+            produces=("model",),
+            description="model-based specification -> IR entry function",
+        ),
+        Stage(
+            name="transforms",
+            run=_transforms_stage,
+            consumes=("model",),
+            produces=("transformed_model", "pass_reports"),
+            description="predictability-enhancing transformation passes",
+        ),
+        Stage(
+            name="htg",
+            run=_htg_stage,
+            consumes=("transformed_model",),
+            produces=("htg",),
+            description="hierarchical task graph extraction + WCET annotation",
+        ),
+        Stage(
+            name="schedule",
+            run=_schedule_stage,
+            consumes=("transformed_model", "htg"),
+            produces=("schedule",),
+            description="WCET-aware mapping/scheduling (via the scheduler registry)",
+        ),
+        Stage(
+            name="parallel",
+            run=_parallel_stage,
+            consumes=("transformed_model", "htg", "schedule"),
+            produces=("parallel_program",),
+            description="explicit parallel program construction",
+        ),
+        Stage(
+            name="wcet",
+            run=_wcet_stage,
+            consumes=("transformed_model", "schedule"),
+            produces=("sequential_bound",),
+            description="sequential reference bound (system bound lives on the schedule)",
+        ),
+    )
+
+
+def _order_stages(stages: tuple[Stage, ...]) -> tuple[Stage, ...]:
+    """Validate the artifact graph and return the stages in dependency order.
+
+    Checks: unique stage names, every artifact produced exactly once, every
+    consumed artifact available (initial or produced), and acyclicity.  The
+    topological order is stable with respect to the declaration order.
+    """
+    names = [stage.name for stage in stages]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise PipelineError(f"duplicate stage names: {', '.join(dupes)}")
+    producer: dict[str, Stage] = {}
+    for stage in stages:
+        for artifact in stage.produces:
+            if artifact in INITIAL_ARTIFACTS:
+                raise PipelineError(
+                    f"stage {stage.name!r} produces reserved artifact {artifact!r}"
+                )
+            if artifact in producer:
+                raise PipelineError(
+                    f"artifact {artifact!r} produced by both "
+                    f"{producer[artifact].name!r} and {stage.name!r}"
+                )
+            producer[artifact] = stage
+    for stage in stages:
+        for artifact in stage.consumes:
+            if artifact not in producer and artifact not in INITIAL_ARTIFACTS:
+                raise PipelineError(
+                    f"stage {stage.name!r} consumes {artifact!r}, which no stage "
+                    f"produces (known artifacts: "
+                    f"{', '.join(sorted(set(producer) | set(INITIAL_ARTIFACTS)))})"
+                )
+    # Kahn's algorithm, preferring declaration order among ready stages.
+    pending = list(stages)
+    available = set(INITIAL_ARTIFACTS)
+    ordered: list[Stage] = []
+    while pending:
+        ready = [s for s in pending if all(a in available for a in s.consumes)]
+        if not ready:
+            cycle = ", ".join(s.name for s in pending)
+            raise PipelineError(f"stage graph has a dependency cycle through: {cycle}")
+        stage = ready[0]
+        pending.remove(stage)
+        ordered.append(stage)
+        available.update(stage.produces)
+    return tuple(ordered)
+
+
+class Pipeline:
+    """A validated, composable instance of the flow for one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        config: ToolchainConfig | None = None,
+        wcet_cache: WcetAnalysisCache | None = None,
+        stages: tuple[Stage, ...] | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or ToolchainConfig()
+        #: Memo of code-level analyses shared by every stage (and, via the
+        #: sweep runner and feedback optimizer, across whole design-space
+        #: explorations).  Defaults to the process-wide shared cache, which
+        #: is disk-backed when ``REPRO_WCET_CACHE_DIR`` is set.
+        self.wcet_cache = wcet_cache if wcet_cache is not None else shared_cache()
+        self.stages = _order_stages(tuple(stages) if stages is not None else default_stages())
+        report = platform.check_predictability()
+        if not report.passed:
+            raise ToolchainError(
+                "platform fails the predictability guidelines: "
+                + "; ".join(report.violations)
+            )
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def with_stage(self, stage: Stage) -> "Pipeline":
+        """A new pipeline with ``stage`` added (position decided by the graph)."""
+        return Pipeline(
+            self.platform, self.config, self.wcet_cache, stages=self.stages + (stage,)
+        )
+
+    def replace_stage(self, name: str, stage: Stage) -> "Pipeline":
+        """A new pipeline with the stage called ``name`` swapped for ``stage``."""
+        if all(s.name != name for s in self.stages):
+            raise PipelineError(f"no stage named {name!r} to replace")
+        stages = tuple(stage if s.name == name else s for s in self.stages)
+        return Pipeline(self.platform, self.config, self.wcet_cache, stages=stages)
+
+    def without_stage(self, name: str) -> "Pipeline":
+        """A new pipeline with the stage called ``name`` removed."""
+        if all(s.name != name for s in self.stages):
+            raise PipelineError(f"no stage named {name!r} to remove")
+        stages = tuple(s for s in self.stages if s.name != name)
+        return Pipeline(self.platform, self.config, self.wcet_cache, stages=stages)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, diagram: Diagram) -> PipelineResult:
+        """One pass through the stage graph on ``diagram``."""
+        context = PipelineContext(
+            diagram=diagram,
+            platform=self.platform,
+            config=self.config,
+            wcet_cache=self.wcet_cache,
+            artifacts={
+                "diagram": diagram,
+                "platform": self.platform,
+                "config": self.config,
+            },
+        )
+        stats = self.wcet_cache.stats
+        counters_before = (stats.hits, stats.disk_hits, stats.misses)
+        records: list[StageRecord] = []
+        for stage in self.stages:
+            context.info = {}
+            started = time.perf_counter()
+            produced = dict(stage.run(context) or {})
+            seconds = time.perf_counter() - started
+            missing = [a for a in stage.produces if a not in produced]
+            if missing:
+                raise PipelineError(
+                    f"stage {stage.name!r} did not produce declared artifact(s): "
+                    f"{', '.join(missing)}"
+                )
+            context.artifacts.update(produced)
+            records.append(
+                StageRecord(
+                    name=stage.name,
+                    seconds=seconds,
+                    produced=tuple(produced),
+                    info=dict(context.info),
+                )
+            )
+        cache_stats = {
+            key: after - before
+            for key, before, after in zip(
+                ("hits", "disk_hits", "misses"),
+                counters_before,
+                (stats.hits, stats.disk_hits, stats.misses),
+            )
+        }
+        return self._assemble_result(diagram, context, records, cache_stats)
+
+    def _assemble_result(
+        self,
+        diagram: Diagram,
+        context: PipelineContext,
+        records: list[StageRecord],
+        cache_stats: dict[str, int],
+    ) -> PipelineResult:
+        artifacts = context.artifacts
+
+        def require(name: str) -> Any:
+            if name not in artifacts:
+                raise PipelineError(
+                    f"pipeline finished without producing required artifact {name!r} "
+                    f"(is the {name!r}-producing stage missing?)"
+                )
+            return artifacts[name]
+
+        return PipelineResult(
+            diagram_name=diagram.name,
+            platform_name=self.platform.name,
+            config=self.config,
+            model=require("transformed_model"),
+            htg=require("htg"),
+            schedule=require("schedule"),
+            parallel_program=require("parallel_program"),
+            sequential_bound=float(artifacts.get("sequential_bound", 0.0)),
+            pass_reports=list(artifacts.get("pass_reports", [])),
+            stage_records=records,
+            artifacts=dict(artifacts),
+            cache_stats=cache_stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self, result: PipelineResult, inputs: Mapping[str, Any] | None = None
+    ) -> SimulationResult:
+        """Execute the parallel program of ``result`` on the platform model."""
+        bindings = result.model.run_inputs(dict(inputs or {}))
+        return simulate_parallel_program(
+            result.parallel_program,
+            result.htg,
+            result.model.entry,
+            self.platform,
+            bindings,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# convenience driver (used by the sweep runner and the toolchain facade)
+# ---------------------------------------------------------------------- #
+def run_pipeline(
+    diagram: Diagram,
+    platform: Platform,
+    config: ToolchainConfig | None = None,
+    wcet_cache: WcetAnalysisCache | None = None,
+) -> PipelineResult:
+    """Run the complete flow, honouring ``config.feedback_iterations``.
+
+    Mirrors ``ArgoToolchain.run``: with ``feedback_iterations > 1`` the
+    cross-layer feedback loop explores neighbouring configurations (itself an
+    inline sweep) and returns the best result.
+    """
+    config = config or ToolchainConfig()
+    if config.feedback_iterations > 1:
+        from repro.core.feedback import CrossLayerFeedback
+        from repro.core.toolchain import ArgoToolchain
+
+        return CrossLayerFeedback(ArgoToolchain(platform, config, wcet_cache)).optimize(
+            diagram
+        )
+    return Pipeline(platform, config, wcet_cache).run(diagram)

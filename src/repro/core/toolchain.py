@@ -1,4 +1,9 @@
-"""The ARGO tool chain driver: model -> IR -> HTG -> schedule -> WCET.
+"""The ARGO tool chain facade: model -> IR -> HTG -> schedule -> WCET.
+
+``ArgoToolchain`` is a thin compatibility facade over the composable
+pipeline API (:mod:`repro.core.pipeline`); existing call sites keep working
+unchanged while the flow itself is a :class:`~repro.core.pipeline.Pipeline`
+of named stages with registry-resolved schedulers and transformation passes.
 
 ``ArgoToolchain.run`` reproduces the design workflow of Fig. 1:
 
@@ -9,78 +14,46 @@
 5. construction of the explicit parallel program model;
 6. code-level + system-level WCET analysis (the schedule's bound);
 7. optionally, iterative cross-layer optimisation (:mod:`repro.core.feedback`).
+
+For whole design-space explorations (many diagrams x platforms x configs),
+use :func:`repro.core.sweep.sweep` instead of hand-rolled loops around this
+facade.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.adl.architecture import Platform
 from repro.core.config import ToolchainConfig
 from repro.core.exceptions import ToolchainError
-from repro.frontend import CompiledModel, compile_diagram
-from repro.htg import HierarchicalTaskGraph, extract_htg
-from repro.htg.extraction import ExtractionOptions
+from repro.core.pipeline import (
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    PipelineResult,
+)
+from repro.frontend import CompiledModel
+from repro.htg import HierarchicalTaskGraph
 from repro.model.diagram import Diagram
-from repro.parallel import ParallelProgram, build_parallel_program
-from repro.scheduling import (
-    WcetAwareListScheduler,
-    branch_and_bound_schedule,
-    genetic_schedule,
-    sequential_schedule,
-    simulated_annealing_schedule,
-)
-from repro.scheduling.baselines import acet_driven_schedule
 from repro.scheduling.schedule import Schedule
-from repro.sim import SimulationResult, simulate_parallel_program
-from repro.transforms import (
-    ConstantFoldingPass,
-    DeadCodeEliminationPass,
-    PassManager,
-    ScratchpadAllocationPass,
-)
+from repro.sim import SimulationResult
 from repro.transforms.base import PassReport
-from repro.wcet import HardwareCostModel, annotate_htg_wcets
 from repro.wcet.cache import WcetAnalysisCache, shared_cache
-from repro.wcet.code_level import analyze_function_wcet
 
-
-@dataclass
-class ToolchainResult:
-    """Everything the flow produced for one application/platform pair."""
-
-    diagram_name: str
-    platform_name: str
-    config: ToolchainConfig
-    model: CompiledModel
-    htg: HierarchicalTaskGraph
-    schedule: Schedule
-    parallel_program: ParallelProgram
-    pass_reports: list[PassReport] = field(default_factory=list)
-
-    @property
-    def system_wcet(self) -> float:
-        """Guaranteed multi-core WCET bound (cycles)."""
-        return self.schedule.wcet_bound
-
-    @property
-    def sequential_wcet(self) -> float:
-        """Single-core WCET bound of the whole step function (cycles)."""
-        return self.metadata_sequential
-
-    metadata_sequential: float = 0.0
-
-    @property
-    def wcet_speedup(self) -> float:
-        """Sequential WCET divided by the parallel WCET bound."""
-        if self.system_wcet <= 0:
-            return 1.0
-        return self.metadata_sequential / self.system_wcet
+#: Backwards-compatible name of the flow's result type.
+ToolchainResult = PipelineResult
 
 
 class ArgoToolchain:
-    """Facade running the whole flow for one target platform."""
+    """Facade running the whole flow for one target platform.
+
+    Thin shim over :class:`~repro.core.pipeline.Pipeline`: construction
+    validates the platform and builds the default stage graph; ``run`` /
+    ``run_once`` delegate to it.  The step methods (``compile_model``,
+    ``extract_tasks``, ``schedule_tasks``) remain for callers that drive the
+    flow piecewise.
+    """
 
     def __init__(
         self,
@@ -91,95 +64,55 @@ class ArgoToolchain:
         self.platform = platform
         self.config = config or ToolchainConfig()
         #: Memo of code-level analyses shared by every stage of this chain
-        #: (and, via the feedback optimizer, across candidate configurations:
-        #: entries are content addressed, so unchanged IR hits the cache).
-        #: Defaults to the process-wide shared cache, which is disk-backed
-        #: when ``REPRO_WCET_CACHE_DIR`` is set -- repeated runs and
-        #: multi-mapper sweeps then pay each code-level analysis exactly once
-        #: across the whole session.
+        #: (and, via the feedback optimizer and the sweep runner, across
+        #: candidate configurations: entries are content addressed, so
+        #: unchanged IR hits the cache).  Defaults to the process-wide shared
+        #: cache, which is disk-backed when ``REPRO_WCET_CACHE_DIR`` is set.
         self.wcet_cache = wcet_cache if wcet_cache is not None else shared_cache()
-        report = platform.check_predictability()
-        if not report.passed:
-            raise ToolchainError(
-                "platform fails the predictability guidelines: "
-                + "; ".join(report.violations)
-            )
+        #: The underlying stage graph; raises ToolchainError for platforms
+        #: violating the predictability guidelines.
+        self.pipeline = Pipeline(platform, self.config, self.wcet_cache)
 
     # ------------------------------------------------------------------ #
+    # piecewise drivers: each delegates to the pipeline's actual stage, so
+    # the logic cannot drift from what Pipeline.run executes
+    # ------------------------------------------------------------------ #
+    def _stage_context(self, diagram: Diagram | None = None, **artifacts) -> PipelineContext:
+        artifacts.update(platform=self.platform, config=self.config)
+        if diagram is not None:
+            artifacts["diagram"] = diagram
+        return PipelineContext(
+            diagram=diagram,  # type: ignore[arg-type] - unused by later stages
+            platform=self.platform,
+            config=self.config,
+            wcet_cache=self.wcet_cache,
+            artifacts=artifacts,
+        )
+
+    def _run_stage(self, name: str, context: PipelineContext) -> dict:
+        for stage in self.pipeline.stages:
+            if stage.name == name:
+                produced = dict(stage.run(context) or {})
+                context.artifacts.update(produced)
+                return produced
+        raise PipelineError(f"pipeline has no stage named {name!r}")
+
     def compile_model(self, diagram: Diagram) -> tuple[CompiledModel, list[PassReport]]:
-        """Front end + predictability transformations."""
-        model = compile_diagram(diagram)
-        reports: list[PassReport] = []
-        manager = PassManager()
-        if self.config.run_cleanup_passes:
-            manager.add(ConstantFoldingPass())
-            manager.add(DeadCodeEliminationPass())
-        if self.config.allocate_scratchpads:
-            capacity = (
-                self.config.scratchpad_capacity_bytes
-                if self.config.scratchpad_capacity_bytes is not None
-                else self.platform.min_scratchpad_bytes()
-            )
-            # Inter-task signal buffers must stay shared: they are how cores
-            # exchange data.  Only block-internal shared state is eligible.
-            protected = {
-                name
-                for name, _ in (
-                    (decl.name, decl) for decl in model.entry.all_decls()
-                )
-                if name.startswith("sig_") or name.startswith("in_") or name.startswith("out_")
-            }
-            manager.add(
-                ScratchpadAllocationPass(
-                    capacity_bytes=capacity,
-                    shared_latency=self.platform.shared_memory.read_latency,
-                    spm_latency=self.platform.cores[0].scratchpad.read_latency,
-                    protect=protected,
-                )
-            )
-        reports = manager.run(model.entry)
+        """Front end + predictability transformations (stages 1-2)."""
+        context = self._stage_context(diagram)
+        model = self._run_stage("frontend", context)["model"]
+        reports = self._run_stage("transforms", context)["pass_reports"]
         return model, reports
 
     def extract_tasks(self, model: CompiledModel) -> HierarchicalTaskGraph:
-        options = ExtractionOptions(
-            granularity=self.config.granularity,
-            loop_chunks=self.config.loop_chunks,
-        )
-        htg = extract_htg(model, options)
-        cost_model = HardwareCostModel(self.platform, self.platform.cores[0].core_id)
-        annotate_htg_wcets(htg, model.entry, cost_model, cache=self.wcet_cache)
-        return htg
+        """HTG extraction + per-task WCET annotation (stage 3)."""
+        context = self._stage_context(transformed_model=model)
+        return self._run_stage("htg", context)["htg"]
 
     def schedule_tasks(self, htg: HierarchicalTaskGraph, model: CompiledModel) -> Schedule:
-        scheduler = self.config.scheduler
-        function = model.entry
-        if scheduler == "sequential":
-            return sequential_schedule(htg, function, self.platform, cache=self.wcet_cache)
-        if scheduler == "acet_list":
-            return acet_driven_schedule(
-                htg, function, self.platform, self.config.max_cores, cache=self.wcet_cache
-            )
-        if scheduler == "simulated_annealing":
-            return simulated_annealing_schedule(
-                htg, function, self.platform, self.config.max_cores, seed=self.config.seed,
-                cache=self.wcet_cache,
-            )
-        if scheduler == "genetic":
-            return genetic_schedule(
-                htg, function, self.platform, self.config.max_cores, seed=self.config.seed,
-                cache=self.wcet_cache,
-            )
-        if scheduler == "bnb":
-            schedule, _ = branch_and_bound_schedule(
-                htg, function, self.platform, self.config.max_cores, cache=self.wcet_cache
-            )
-            return schedule
-        return WcetAwareListScheduler(
-            platform=self.platform,
-            contention_weight=self.config.contention_weight,
-            max_cores=self.config.max_cores,
-            cache=self.wcet_cache,
-        ).schedule(htg, function)
+        """Mapping/scheduling via the scheduler registry (stage 4)."""
+        context = self._stage_context(transformed_model=model, htg=htg)
+        return self._run_stage("schedule", context)["schedule"]
 
     # ------------------------------------------------------------------ #
     def run(self, diagram: Diagram) -> ToolchainResult:
@@ -191,30 +124,8 @@ class ArgoToolchain:
         return self.run_once(diagram)
 
     def run_once(self, diagram: Diagram) -> ToolchainResult:
-        """One pass through the flow with the current configuration."""
-        model, pass_reports = self.compile_model(diagram)
-        htg = self.extract_tasks(model)
-        schedule = self.schedule_tasks(htg, model)
-        parallel_program = build_parallel_program(htg, model.entry, self.platform, schedule)
-
-        sequential_bound = analyze_function_wcet(
-            model.entry,
-            HardwareCostModel(self.platform, self.platform.cores[0].core_id),
-            cache=self.wcet_cache,
-        ).total
-
-        result = ToolchainResult(
-            diagram_name=diagram.name,
-            platform_name=self.platform.name,
-            config=self.config,
-            model=model,
-            htg=htg,
-            schedule=schedule,
-            parallel_program=parallel_program,
-            pass_reports=pass_reports,
-        )
-        result.metadata_sequential = sequential_bound
-        return result
+        """One pass through the stage graph with the current configuration."""
+        return self.pipeline.run(diagram)
 
     # ------------------------------------------------------------------ #
     def simulate(
@@ -226,11 +137,4 @@ class ArgoToolchain:
         concrete values; constant parameters and state initial values are
         filled in automatically.
         """
-        bindings = result.model.run_inputs(dict(inputs or {}))
-        return simulate_parallel_program(
-            result.parallel_program,
-            result.htg,
-            result.model.entry,
-            self.platform,
-            bindings,
-        )
+        return self.pipeline.simulate(result, inputs)

@@ -7,11 +7,20 @@ the originating blocks.
 """
 
 from repro.frontend.lowering import ScilabLoweringError, lower_script
-from repro.frontend.codegen import CompiledModel, compile_diagram
+from repro.frontend.codegen import (
+    INTERFACE_SIGNAL_PREFIXES,
+    CompiledModel,
+    compile_diagram,
+    is_interface_signal,
+    protected_signal_names,
+)
 
 __all__ = [
     "ScilabLoweringError",
     "lower_script",
     "CompiledModel",
     "compile_diagram",
+    "INTERFACE_SIGNAL_PREFIXES",
+    "is_interface_signal",
+    "protected_signal_names",
 ]

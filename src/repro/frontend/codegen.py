@@ -28,6 +28,29 @@ from repro.model.blocks import Block, Port
 from repro.model.diagram import Connection, Diagram
 
 
+#: Prefixes of the declarations that carry data across task boundaries:
+#: inter-block signals (``sig_``) and the model's external interface
+#: (``in_``/``out_``).  They are how cores exchange data, so they must stay
+#: in shared memory -- passes that privatise storage (e.g. scratchpad
+#: allocation) must leave them alone.
+INTERFACE_SIGNAL_PREFIXES = ("sig_", "in_", "out_")
+
+
+def is_interface_signal(name: str) -> bool:
+    """Whether ``name`` names an inter-task signal or external port buffer."""
+    return name.startswith(INTERFACE_SIGNAL_PREFIXES)
+
+
+def protected_signal_names(function) -> set[str]:
+    """Declarations of ``function`` that must stay in shared memory.
+
+    These are the inter-task communication buffers produced by the front end
+    (see :data:`INTERFACE_SIGNAL_PREFIXES`); only block-internal state is
+    eligible for privatising transformations such as scratchpad allocation.
+    """
+    return {decl.name for decl in function.all_decls() if is_interface_signal(decl.name)}
+
+
 def _signal_name(connection: Connection) -> str:
     return f"sig_{connection.src_block}_{connection.src_port}"
 

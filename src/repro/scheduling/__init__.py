@@ -12,9 +12,21 @@ heuristics"; this package provides:
 * :mod:`~repro.scheduling.metaheuristics` -- simulated annealing and a genetic
   algorithm for larger graphs;
 * :mod:`~repro.scheduling.baselines` -- the comparison points used by the
-  experiments (sequential, average-case-driven, contention-free).
+  experiments (sequential, average-case-driven, contention-free);
+* :mod:`~repro.scheduling.registry` -- the plugin registry the pipeline's
+  ``schedule`` stage resolves ``ToolchainConfig.scheduler`` through.  The six
+  built-in schedulers self-register on import of this package; third parties
+  add strategies with :func:`~repro.scheduling.registry.register_scheduler`.
 """
 
+from repro.scheduling.registry import (
+    RegisteredScheduler,
+    SchedulerRegistryError,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
 from repro.scheduling.schedule import Schedule, ScheduleError, default_core_order, evaluate_mapping
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
 from repro.scheduling.bnb import branch_and_bound_schedule
@@ -26,6 +38,12 @@ from repro.scheduling.baselines import (
 )
 
 __all__ = [
+    "RegisteredScheduler",
+    "SchedulerRegistryError",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
     "Schedule",
     "ScheduleError",
     "default_core_order",

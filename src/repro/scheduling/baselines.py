@@ -19,6 +19,7 @@ from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
+from repro.scheduling.registry import register_scheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
 from repro.wcet.cache import WcetAnalysisCache, shared_cache
 
@@ -103,3 +104,20 @@ def contention_free_schedule(
         htg, function, platform, mapping, scheduler="contention_free", cache=cache
     )
     return schedule
+
+
+# ---------------------------------------------------------------------- #
+# registry adapters (see repro.scheduling.registry)
+# ---------------------------------------------------------------------- #
+@register_scheduler("sequential", description="all tasks on one core, topological order")
+def _sequential_plugin(htg, function, platform, config, cache) -> Schedule:
+    return sequential_schedule(htg, function, platform, cache=cache)
+
+
+@register_scheduler(
+    "acet_list", description="average-case-driven, contention-oblivious list scheduling"
+)
+def _acet_list_plugin(htg, function, platform, config, cache) -> Schedule:
+    return acet_driven_schedule(
+        htg, function, platform, max_cores=config.max_cores, cache=cache
+    )

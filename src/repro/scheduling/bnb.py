@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
+from repro.scheduling.registry import register_scheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
 from repro.wcet.cache import WcetAnalysisCache, shared_cache
 from repro.wcet.code_level import analyze_task_wcet
@@ -109,3 +110,16 @@ def branch_and_bound_schedule(
     best_schedule.metadata["nodes_explored"] = float(stats.nodes_explored)
     best_schedule.metadata["pruned"] = float(stats.pruned)
     return best_schedule, stats
+
+
+# ---------------------------------------------------------------------- #
+# registry adapter (see repro.scheduling.registry)
+# ---------------------------------------------------------------------- #
+@register_scheduler(
+    "bnb", description="exact branch-and-bound mapping for small task graphs"
+)
+def _bnb_plugin(htg, function, platform, config, cache) -> Schedule:
+    schedule, _ = branch_and_bound_schedule(
+        htg, function, platform, max_cores=config.max_cores, cache=cache
+    )
+    return schedule

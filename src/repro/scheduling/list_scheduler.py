@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
+from repro.scheduling.registry import register_scheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
 from repro.wcet.cache import WcetAnalysisCache, shared_cache
 from repro.wcet.code_level import analyze_task_wcet
@@ -240,3 +241,19 @@ class WcetAwareListScheduler:
         )
         schedule.metadata["estimated_makespan"] = max(finish.values(), default=0.0)
         return schedule
+
+
+# ---------------------------------------------------------------------- #
+# registry adapter (see repro.scheduling.registry)
+# ---------------------------------------------------------------------- #
+@register_scheduler(
+    "wcet_list",
+    description="contention- and communication-aware WCET-driven list scheduling",
+)
+def _wcet_list_plugin(htg, function, platform, config, cache) -> Schedule:
+    return WcetAwareListScheduler(
+        platform=platform,
+        contention_weight=config.contention_weight,
+        max_cores=config.max_cores,
+        cache=cache,
+    ).schedule(htg, function)

@@ -15,6 +15,7 @@ from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
 from repro.scheduling.list_scheduler import WcetAwareListScheduler
+from repro.scheduling.registry import register_scheduler
 from repro.scheduling.schedule import Schedule, evaluate_mapping
 from repro.utils.rng import make_rng
 from repro.wcet.cache import WcetAnalysisCache, shared_cache
@@ -153,3 +154,22 @@ def genetic_schedule(
     best_schedule.scheduler = "genetic"
     best_schedule.metadata["generations"] = float(generations)
     return best_schedule
+
+
+# ---------------------------------------------------------------------- #
+# registry adapters (see repro.scheduling.registry)
+# ---------------------------------------------------------------------- #
+@register_scheduler(
+    "simulated_annealing", description="simulated annealing over task-to-core mappings"
+)
+def _simulated_annealing_plugin(htg, function, platform, config, cache) -> Schedule:
+    return simulated_annealing_schedule(
+        htg, function, platform, max_cores=config.max_cores, seed=config.seed, cache=cache
+    )
+
+
+@register_scheduler("genetic", description="genetic algorithm over task-to-core mappings")
+def _genetic_plugin(htg, function, platform, config, cache) -> Schedule:
+    return genetic_schedule(
+        htg, function, platform, max_cores=config.max_cores, seed=config.seed, cache=cache
+    )

@@ -14,10 +14,24 @@ Provided passes:
 * :mod:`repro.transforms.scratchpad` -- WCET-directed scratchpad allocation
   (reference [6] of the paper);
 * :class:`repro.transforms.base.PassManager` -- ordered application of passes
-  with per-pass reporting.
+  with per-pass reporting;
+* :mod:`repro.transforms.registry` -- the named-pass plugin registry the
+  pipeline's ``transforms`` stage resolves ``ToolchainConfig.passes``
+  through (third parties add passes with
+  :func:`~repro.transforms.registry.register_pass`).
 """
 
 from repro.transforms.base import FunctionPass, PassManager, PassReport
+from repro.transforms.registry import (
+    PassContext,
+    PassRegistryError,
+    RegisteredPass,
+    available_passes,
+    build_pass_pipeline,
+    get_pass,
+    register_pass,
+    unregister_pass,
+)
 from repro.transforms.simple import ConstantFoldingPass, DeadCodeEliminationPass
 from repro.transforms.loop_transforms import (
     LoopUnrollPass,
@@ -31,6 +45,14 @@ __all__ = [
     "FunctionPass",
     "PassManager",
     "PassReport",
+    "PassContext",
+    "PassRegistryError",
+    "RegisteredPass",
+    "available_passes",
+    "build_pass_pipeline",
+    "get_pass",
+    "register_pass",
+    "unregister_pass",
     "ConstantFoldingPass",
     "DeadCodeEliminationPass",
     "LoopUnrollPass",

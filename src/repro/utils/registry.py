@@ -1,0 +1,73 @@
+"""Minimal name -> entry plugin registry.
+
+Shared machinery of the pluggable subsystems (scheduler strategies in
+:mod:`repro.scheduling.registry`, transformation passes in
+:mod:`repro.transforms.registry`): duplicate-name protection with an
+explicit ``replace`` escape hatch, lookup errors that list the known names,
+and an optional ``ensure`` hook that lets a registry lazily import the
+modules providing its built-in entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+def first_doc_line(obj: object) -> str:
+    """The first non-empty docstring line of ``obj`` (or an empty string)."""
+    return ((getattr(obj, "__doc__", None) or "").strip().splitlines() or [""])[0]
+
+
+class Registry(Generic[T]):
+    """A name -> entry mapping with plugin-friendly registration semantics."""
+
+    def __init__(
+        self,
+        kind: str,
+        error: type[Exception],
+        ensure: Callable[[], None] | None = None,
+        kind_plural: str | None = None,
+    ) -> None:
+        self._kind = kind
+        self._kind_plural = kind_plural or f"{kind}s"
+        self._error = error
+        #: invoked before lookups so built-in entries can self-register on
+        #: first use (typically an import of the providing package)
+        self._ensure = ensure
+        self._entries: dict[str, T] = {}
+
+    def register(self, name: str, entry: T, replace: bool = False) -> T:
+        if name in self._entries and not replace:
+            raise self._error(
+                f"{self._kind} {name!r} is already registered "
+                f"(by {self._entries[name]!r}); pass replace=True to override"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration; unknown names are a no-op."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> T:
+        """Look up an entry by name, raising with the known names on a miss."""
+        if self._ensure is not None:
+            self._ensure()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise self._error(
+                f"unknown {self._kind} {name!r}; registered {self._kind_plural}: "
+                f"{', '.join(self.available())}"
+            ) from None
+
+    def available(self) -> tuple[str, ...]:
+        """Sorted names of every registered entry."""
+        if self._ensure is not None:
+            self._ensure()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries

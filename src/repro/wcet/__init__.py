@@ -49,17 +49,22 @@ A disk-backed cache (``WcetAnalysisCache.open(dir)`` /
 environment variable) persists entries under a **version-stamped**
 subdirectory ``<dir>/v<CACHE_SCHEMA_VERSION>/``:
 
-* ``entries.jsonl`` holds one JSON object per entry: the content key plus
-  the five :class:`~repro.wcet.code_level.WcetBreakdown` fields.  The file
-  is strictly append-only, duplicate keys are harmless (the key fully
-  determines the value) and malformed lines -- e.g. a torn append from a
-  concurrent process -- are skipped on load.  Because keys are content
-  addressed, on-disk entries can never go stale and need no invalidation,
-  ever.
-* ``stats.jsonl`` accumulates one hit/disk-hit/miss delta record per flush;
-  :func:`~repro.wcet.cache.read_cache_dir_stats` aggregates them across
-  processes (``benchmarks/run_all.py --cache-dir`` reports them in its
-  ``BENCH_*.json`` records).
+* ``entries-<pid>-<token>.jsonl`` shards hold one JSON object per entry:
+  the content key plus the five
+  :class:`~repro.wcet.code_level.WcetBreakdown` fields.  Every cache
+  instance owns exactly one shard and rewrites it atomically on flush
+  (tempfile + ``os.replace``), so concurrent flushes -- e.g. the worker
+  processes of ``repro.core.sweep.sweep`` -- can never corrupt the
+  directory.  ``load`` merges every ``entries*.jsonl`` file (including a
+  legacy append-only ``entries.jsonl``); duplicate keys across shards are
+  harmless (the key fully determines the value) and malformed lines are
+  skipped.  Because keys are content addressed, on-disk entries can never
+  go stale and need no invalidation, ever.
+* ``stats-<pid>-<token>.jsonl`` shards accumulate one hit/disk-hit/miss
+  delta record per flush (single writer, append-only);
+  :func:`~repro.wcet.cache.read_cache_dir_stats` aggregates all
+  ``stats*.jsonl`` files across processes (``benchmarks/run_all.py
+  --cache-dir`` reports them in its ``BENCH_*.json`` records).
 
 **Versioning rule:** bump
 :data:`~repro.wcet.cache.CACHE_SCHEMA_VERSION` whenever the *meaning* of a

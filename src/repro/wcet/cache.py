@@ -37,17 +37,24 @@ A cache becomes disk-backed through :meth:`WcetAnalysisCache.load` (or the
 :meth:`WcetAnalysisCache.open` constructor).  Entries live under a
 version-stamped subdirectory, ``<cache_dir>/v<CACHE_SCHEMA_VERSION>/``:
 
-* ``entries.jsonl`` -- one JSON object per line, ``{"key": <content key>,
-  "total": .., "compute": .., "memory": .., "control": ..,
-  "shared_accesses": ..}``.  The file is append-only; duplicate keys are
-  harmless (the content key fully determines the value) and malformed lines
-  (e.g. a torn concurrent append) are skipped on load.
-* ``stats.jsonl`` -- one JSON object per :meth:`flush`, recording the
-  hit/disk-hit/miss deltas of the flushing process.  Aggregated by
-  :func:`read_cache_dir_stats` so drivers like ``benchmarks/run_all.py`` can
-  report cache effectiveness across subprocesses.
+* ``entries-<pid>-<token>.jsonl`` -- one *shard* per cache instance: one
+  JSON object per line, ``{"key": <content key>, "total": .., "compute": ..,
+  "memory": .., "control": .., "shared_accesses": ..}``.  Every instance
+  writes only its own shard, and each :meth:`flush` rewrites that shard
+  atomically (tempfile + ``os.replace``), so any number of processes -- e.g.
+  the workers of a :func:`repro.core.sweep.sweep` -- can flush to the same
+  directory concurrently without corrupting it.  :meth:`load` merges every
+  ``entries*.jsonl`` file (including the legacy single ``entries.jsonl``
+  written by older versions); duplicate keys across shards are harmless (the
+  content key fully determines the value) and malformed lines are skipped.
+* ``stats-<pid>-<token>.jsonl`` -- one JSON object per :meth:`flush`,
+  recording the hit/disk-hit/miss deltas of the flushing instance
+  (single-writer, append-only).  Aggregated together with any legacy
+  ``stats.jsonl`` by :func:`read_cache_dir_stats` so drivers like
+  ``benchmarks/run_all.py`` can report cache effectiveness across
+  subprocesses.
 
-:meth:`flush` appends every entry not yet persisted and is cheap when there
+:meth:`flush` persists every entry not yet on disk and is cheap when there
 is nothing new.  Other schema versions in the same directory are ignored, so
 bumping :data:`CACHE_SCHEMA_VERSION` (see the invalidation contract in
 :mod:`repro.wcet`) invalidates old on-disk entries without deleting them.
@@ -87,6 +94,8 @@ import atexit
 import hashlib
 import json
 import os
+import tempfile
+import uuid
 import weakref
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -162,8 +171,14 @@ class WcetAnalysisCache:
     _pins: list = field(default_factory=list, repr=False)
     #: keys of entries loaded from disk (they count as ``disk_hits``)
     _loaded: set[str] = field(default_factory=set, repr=False)
-    #: keys already present in the on-disk entries file (loaded or flushed)
+    #: keys already present in any on-disk shard (loaded or flushed)
     _persisted: set[str] = field(default_factory=set, repr=False)
+    #: full content of this instance's own shard file (survives clear();
+    #: rewritten wholesale on every flush so the replace is atomic)
+    _own_entries: dict[str, WcetBreakdown] = field(default_factory=dict, repr=False)
+    #: per-instance token making the shard file name unique even when two
+    #: caches in one process share a directory
+    _shard_token: str = field(default_factory=lambda: uuid.uuid4().hex[:8], repr=False)
     #: stats snapshot at the last flush, for per-flush delta records
     _flushed_stats: tuple[int, int, int] = field(default=(0, 0, 0), repr=False)
     _cache_dir: Path | None = field(default=None, repr=False)
@@ -328,13 +343,19 @@ class WcetAnalysisCache:
         assert self._cache_dir is not None
         return self._cache_dir / f"v{CACHE_SCHEMA_VERSION}"
 
+    def _shard_path(self, vdir: Path, kind: str) -> Path:
+        # The pid is resolved at write time, not at construction: a cache
+        # instance inherited through fork() then gets its own shard file in
+        # the child process instead of racing the parent for one.
+        return vdir / f"{kind}-{os.getpid()}-{self._shard_token}.jsonl"
+
     def load(self, cache_dir: str | Path) -> int:
         """Attach the cache to ``cache_dir`` and pull in its entries.
 
-        Creates the version-stamped subdirectory if needed, reads every
-        well-formed line of ``entries.jsonl`` (later duplicates and torn
-        lines are skipped) and returns the number of entries added.  Entries
-        from other schema versions are ignored.
+        Creates the version-stamped subdirectory if needed, merges every
+        well-formed line of every ``entries*.jsonl`` shard (duplicates and
+        torn lines are skipped) and returns the number of entries added.
+        Entries from other schema versions are ignored.
 
         Re-attaching to a *different* directory forgets what was persisted
         where: every in-memory entry becomes flushable to the new directory
@@ -344,12 +365,12 @@ class WcetAnalysisCache:
         if self._cache_dir is not None and cache_dir != self._cache_dir:
             self._persisted.clear()
             self._loaded.clear()
+            self._own_entries.clear()
         self._cache_dir = cache_dir
         vdir = self._version_dir()
         vdir.mkdir(parents=True, exist_ok=True)
-        entries_path = vdir / "entries.jsonl"
         loaded = 0
-        if entries_path.exists():
+        for entries_path in sorted(vdir.glob("entries*.jsonl")):
             for line in entries_path.read_text(encoding="utf-8").splitlines():
                 try:
                     record = json.loads(line)
@@ -362,7 +383,7 @@ class WcetAnalysisCache:
                         shared_accesses=int(record["shared_accesses"]),
                     )
                 except (ValueError, KeyError, TypeError):
-                    continue  # torn append or foreign line: skip, never fail
+                    continue  # torn line or foreign content: skip, never fail
                 self._persisted.add(key)
                 if key not in self._entries:
                     self._entries[key] = entry
@@ -371,12 +392,15 @@ class WcetAnalysisCache:
         return loaded
 
     def flush(self) -> int:
-        """Append every not-yet-persisted entry to the backing directory.
+        """Persist every not-yet-persisted entry to this instance's shard.
 
-        Returns the number of entries written (0 for a memory-only cache, so
-        it is always safe to call).  Also appends one hit/miss delta record
-        to ``stats.jsonl`` so cache effectiveness can be aggregated across
-        processes by :func:`read_cache_dir_stats`.
+        Returns the number of new entries written (0 for a memory-only
+        cache, so it is always safe to call).  The shard file is rewritten
+        through a tempfile and ``os.replace``, so a concurrent reader never
+        sees a torn file and concurrent flushes from other processes (which
+        own different shards) cannot interleave.  Also appends one hit/miss
+        delta record to this instance's stats shard so cache effectiveness
+        can be aggregated across processes by :func:`read_cache_dir_stats`.
         """
         if self._cache_dir is None:
             return 0
@@ -389,15 +413,25 @@ class WcetAnalysisCache:
         vdir = self._version_dir()
         vdir.mkdir(parents=True, exist_ok=True)
         if fresh:
+            self._own_entries.update(fresh)
             lines = [
                 json.dumps(
                     {"key": key, **{f: getattr(entry, f) for f in _ENTRY_FIELDS}},
                     separators=(",", ":"),
                 )
-                for key, entry in fresh.items()
+                for key, entry in self._own_entries.items()
             ]
-            with (vdir / "entries.jsonl").open("a", encoding="utf-8") as fh:
-                fh.write("\n".join(lines) + "\n")
+            fd, tmp_name = tempfile.mkstemp(dir=vdir, prefix=".entries-", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write("\n".join(lines) + "\n")
+                os.replace(tmp_name, self._shard_path(vdir, "entries"))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+                raise
             self._persisted.update(fresh)
         delta = tuple(now - then for now, then in zip(snapshot, self._flushed_stats))
         if fresh or any(delta):
@@ -408,7 +442,8 @@ class WcetAnalysisCache:
                 "misses": delta[2],
                 "flushed": len(fresh),
             }
-            with (vdir / "stats.jsonl").open("a", encoding="utf-8") as fh:
+            # single writer per shard: a plain append is safe here
+            with self._shard_path(vdir, "stats").open("a", encoding="utf-8") as fh:
                 fh.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._flushed_stats = snapshot
         return len(fresh)
@@ -452,17 +487,18 @@ class WcetAnalysisCache:
 def read_cache_dir_stats(cache_dir: str | Path, count_entries: bool = True) -> dict:
     """Aggregate the stats records of a cache directory.
 
-    Sums every record of ``stats.jsonl`` (one per flush, across all
-    processes) and, with ``count_entries``, also counts the distinct
-    persisted entries (a full scan of ``entries.jsonl`` -- pass ``False``
-    when diffing snapshots in a loop).  Returns zeros for a missing or
-    empty directory, so callers can diff before/after snapshots without
-    special cases.
+    Sums every record of every ``stats*.jsonl`` shard (one record per flush,
+    across all processes) and, with ``count_entries``, also counts the
+    distinct persisted entries (a full scan of every ``entries*.jsonl``
+    shard -- pass ``False`` when diffing snapshots in a loop).  Returns
+    zeros for a missing or empty directory, so callers can diff
+    before/after snapshots without special cases.
     """
     totals = {"hits": 0, "disk_hits": 0, "misses": 0, "flushed": 0, "entries": 0}
     vdir = Path(cache_dir) / f"v{CACHE_SCHEMA_VERSION}"
-    stats_path = vdir / "stats.jsonl"
-    if stats_path.exists():
+    if not vdir.is_dir():
+        return totals
+    for stats_path in sorted(vdir.glob("stats*.jsonl")):
         for line in stats_path.read_text(encoding="utf-8").splitlines():
             try:
                 record = json.loads(line)
@@ -470,14 +506,14 @@ def read_cache_dir_stats(cache_dir: str | Path, count_entries: bool = True) -> d
                     totals[key] += int(record.get(key, 0))
             except (ValueError, TypeError):
                 continue
-    entries_path = vdir / "entries.jsonl"
-    if count_entries and entries_path.exists():
+    if count_entries:
         keys = set()
-        for line in entries_path.read_text(encoding="utf-8").splitlines():
-            try:
-                keys.add(json.loads(line)["key"])
-            except (ValueError, KeyError, TypeError):
-                continue
+        for entries_path in sorted(vdir.glob("entries*.jsonl")):
+            for line in entries_path.read_text(encoding="utf-8").splitlines():
+                try:
+                    keys.add(json.loads(line)["key"])
+                except (ValueError, KeyError, TypeError):
+                    continue
         totals["entries"] = len(keys)
     return totals
 

@@ -1,0 +1,424 @@
+"""Tests for the composable pipeline API: registries, stages, sweep, shim."""
+
+from functools import partial
+
+import pytest
+
+from repro.adl.platforms import generic_predictable_multicore, recore_xentium_like
+from repro.core import (
+    ArgoToolchain,
+    Pipeline,
+    PipelineError,
+    PipelineResult,
+    Stage,
+    SweepCase,
+    ToolchainConfig,
+    ToolchainResult,
+    sweep,
+    sweep_grid,
+)
+from repro.frontend import (
+    compile_diagram,
+    is_interface_signal,
+    protected_signal_names,
+)
+from repro.scheduling import evaluate_mapping
+from repro.scheduling.registry import (
+    SchedulerRegistryError,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
+from repro.transforms.base import FunctionPass, PassReport
+from repro.transforms.registry import (
+    PassRegistryError,
+    available_passes,
+    get_pass,
+    register_pass,
+    unregister_pass,
+)
+from repro.usecases import build_egpws_diagram, build_polka_diagram
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return generic_predictable_multicore(cores=4)
+
+
+SMALL = dict(loop_chunks=2)
+
+
+class TestSchedulerRegistry:
+    def test_builtin_schedulers_registered(self):
+        assert set(available_schedulers()) == {
+            "wcet_list",
+            "acet_list",
+            "sequential",
+            "simulated_annealing",
+            "genetic",
+            "bnb",
+        }
+
+    def test_lookup_returns_entry_with_description(self):
+        entry = get_scheduler("wcet_list")
+        assert entry.name == "wcet_list"
+        assert entry.description
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(SchedulerRegistryError, match="wcet_list"):
+            get_scheduler("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        @register_scheduler("dup_test")
+        def first(htg, function, platform, config, cache):  # pragma: no cover
+            raise AssertionError
+
+        try:
+            with pytest.raises(SchedulerRegistryError, match="already registered"):
+
+                @register_scheduler("dup_test")
+                def second(htg, function, platform, config, cache):  # pragma: no cover
+                    raise AssertionError
+
+        finally:
+            unregister_scheduler("dup_test")
+        assert "dup_test" not in available_schedulers()
+
+    def test_third_party_scheduler_runs_through_config(self, platform):
+        @register_scheduler("rr_test", description="round robin for tests")
+        def round_robin(htg, function, platform, config, cache):
+            core_ids = [c.core_id for c in platform.cores]
+            if config.max_cores is not None:
+                core_ids = core_ids[: config.max_cores]
+            leaves = [t for t in htg.topological_tasks() if not t.is_synthetic]
+            mapping = {
+                t.task_id: core_ids[i % len(core_ids)] for i, t in enumerate(leaves)
+            }
+            return evaluate_mapping(
+                htg, function, platform, mapping, scheduler="rr_test", cache=cache
+            )
+
+        try:
+            config = ToolchainConfig(scheduler="rr_test", **SMALL)
+            result = ArgoToolchain(platform, config).run(build_polka_diagram(pixels=32))
+            assert result.schedule.scheduler == "rr_test"
+            assert result.system_wcet > 0
+        finally:
+            unregister_scheduler("rr_test")
+        # once unregistered, the name is rejected at config-construction time
+        with pytest.raises(ValueError):
+            ToolchainConfig(scheduler="rr_test")
+
+
+class TestPassRegistry:
+    def test_builtin_passes_registered(self):
+        assert {"constant_folding", "dead_code_elimination", "scratchpad_allocation"} <= set(
+            available_passes()
+        )
+
+    def test_unknown_pass_rejected_by_config(self):
+        with pytest.raises(ValueError, match="unknown transformation pass"):
+            ToolchainConfig(passes=["constant_folding", "nope"])
+
+    def test_unknown_pass_lookup_raises(self):
+        with pytest.raises(PassRegistryError, match="constant_folding"):
+            get_pass("nope")
+
+    def test_ordered_pass_names_drive_the_transforms_stage(self, platform):
+        class MarkerPass(FunctionPass):
+            name = "marker_test"
+
+            def run(self, function):
+                return PassReport(
+                    pass_name=self.name, function_name=function.name, changed=False
+                )
+
+        @register_pass("marker_test")
+        def build_marker(context):
+            return MarkerPass()
+
+        try:
+            config = ToolchainConfig(passes=["constant_folding", "marker_test"], **SMALL)
+            result = ArgoToolchain(platform, config).run(build_polka_diagram(pixels=32))
+            assert [r.pass_name for r in result.pass_reports] == [
+                "constant_folding",
+                "marker_test",
+            ]
+        finally:
+            unregister_pass("marker_test")
+
+    def test_legacy_boolean_knobs_derive_the_pipeline(self):
+        assert ToolchainConfig().effective_passes() == (
+            "constant_folding",
+            "dead_code_elimination",
+            "scratchpad_allocation",
+        )
+        assert ToolchainConfig(
+            run_cleanup_passes=False, allocate_scratchpads=False
+        ).effective_passes() == ()
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"granularity": "nope"},
+            {"scheduler": "nope"},
+            {"loop_chunks": 0},
+            {"feedback_iterations": 0},
+            {"max_cores": 0},
+            {"max_cores": -2},
+            {"contention_weight": -0.5},
+            {"contention_weight": float("nan")},
+            {"scratchpad_capacity_bytes": 0},
+            {"passes": ["nope"]},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ToolchainConfig(**kwargs)
+
+    def test_valid_edge_values_accepted(self):
+        ToolchainConfig(max_cores=1, contention_weight=0.0, scratchpad_capacity_bytes=1)
+
+
+class TestPipelineStages:
+    def test_stage_records_and_artifacts(self, platform):
+        result = Pipeline(platform, ToolchainConfig(**SMALL)).run(
+            build_polka_diagram(pixels=32)
+        )
+        assert [r.name for r in result.stage_records] == [
+            "frontend",
+            "transforms",
+            "htg",
+            "schedule",
+            "parallel",
+            "wcet",
+        ]
+        assert all(r.seconds >= 0 for r in result.stage_records)
+        assert set(result.timings) == {
+            "frontend", "transforms", "htg", "schedule", "parallel", "wcet",
+        }
+        # typed artifacts of the run are all retained
+        for name in ("model", "transformed_model", "htg", "schedule",
+                     "parallel_program", "sequential_bound", "pass_reports"):
+            assert name in result.artifacts
+        assert result.stage("schedule").info["scheduler"] == "wcet_list"
+        assert result.stage("htg").info["tasks"] == len(result.htg.leaf_tasks())
+        assert result.stage("transforms").info["passes"] == [
+            "constant_folding", "dead_code_elimination", "scratchpad_allocation",
+        ]
+        assert result.cache_stats["misses"] >= 0
+
+    def test_custom_stage_slots_into_the_graph(self, platform):
+        def critical_path(context):
+            schedule = context.artifact("schedule")
+            context.info["bound"] = schedule.wcet_bound
+            return {"bound_copy": schedule.wcet_bound}
+
+        pipeline = Pipeline(platform, ToolchainConfig(**SMALL)).with_stage(
+            Stage(
+                name="bound_copy",
+                run=critical_path,
+                consumes=("schedule",),
+                produces=("bound_copy",),
+            )
+        )
+        result = pipeline.run(build_polka_diagram(pixels=32))
+        assert result.artifacts["bound_copy"] == result.system_wcet
+        assert result.stage("bound_copy").info["bound"] == result.system_wcet
+
+    def test_unknown_consumed_artifact_rejected(self, platform):
+        stage = Stage(name="bad", run=lambda ctx: {}, consumes=("nonexistent",))
+        with pytest.raises(PipelineError, match="nonexistent"):
+            Pipeline(platform, stages=(stage,))
+
+    def test_duplicate_producer_rejected(self, platform):
+        from repro.core.pipeline import default_stages
+
+        clone = Stage(name="clone", run=lambda ctx: {}, produces=("htg",))
+        with pytest.raises(PipelineError, match="produced by both"):
+            Pipeline(platform, stages=default_stages() + (clone,))
+
+    def test_dependency_cycle_rejected(self, platform):
+        a = Stage(name="a", run=lambda ctx: {}, consumes=("b_out",), produces=("a_out",))
+        b = Stage(name="b", run=lambda ctx: {}, consumes=("a_out",), produces=("b_out",))
+        with pytest.raises(PipelineError, match="cycle"):
+            Pipeline(platform, stages=(a, b))
+
+    def test_stage_must_produce_declared_artifacts(self, platform):
+        liar = Stage(name="liar", run=lambda ctx: {}, produces=("promised",))
+        pipeline = Pipeline(platform, stages=(liar,))
+        with pytest.raises(PipelineError, match="promised"):
+            pipeline.run(build_polka_diagram(pixels=32))
+
+
+class TestToolchainShim:
+    def test_shim_and_pipeline_agree(self, platform):
+        config = ToolchainConfig(**SMALL)
+        via_shim = ArgoToolchain(platform, config).run(build_polka_diagram(pixels=32))
+        via_pipeline = Pipeline(platform, config).run(build_polka_diagram(pixels=32))
+        assert isinstance(via_shim, PipelineResult)
+        assert ToolchainResult is PipelineResult
+        assert via_shim.system_wcet == via_pipeline.system_wcet
+        assert via_shim.sequential_wcet == via_pipeline.sequential_wcet
+
+    def test_sequential_bound_is_constructor_field_with_compat_alias(self, platform):
+        result = ArgoToolchain(platform, ToolchainConfig(**SMALL)).run(
+            build_polka_diagram(pixels=32)
+        )
+        assert result.sequential_bound == result.sequential_wcet
+        assert result.metadata_sequential == result.sequential_bound
+        result.metadata_sequential = 123.0  # legacy writers keep working
+        assert result.sequential_bound == 123.0
+
+    def test_scheduler_dispatch_goes_through_registry(self, platform, monkeypatch):
+        """Deleting the registry entry must break dispatch (no if/elif left)."""
+        import repro.scheduling.registry as registry_module
+
+        toolchain = ArgoToolchain(
+            platform, ToolchainConfig(scheduler="sequential", **SMALL)
+        )
+        monkeypatch.delitem(registry_module._REGISTRY._entries, "sequential")
+        with pytest.raises(SchedulerRegistryError):
+            toolchain.run(build_polka_diagram(pixels=32))
+
+
+class TestProtectedSignals:
+    def test_prefix_rules(self):
+        assert is_interface_signal("sig_a_y")
+        assert is_interface_signal("in_scale_u")
+        assert is_interface_signal("out_peak_y")
+        assert not is_interface_signal("st_block_acc")
+        assert not is_interface_signal("p_block_gain")
+        assert not is_interface_signal("signal")  # prefix, not substring rules
+
+    def test_protected_names_of_a_compiled_model(self):
+        model = compile_diagram(build_polka_diagram(pixels=32))
+        protected = protected_signal_names(model.entry)
+        assert protected  # inter-block signals exist
+        assert all(is_interface_signal(name) for name in protected)
+        declared = {decl.name for decl in model.entry.all_decls()}
+        assert protected == {name for name in declared if is_interface_signal(name)}
+
+
+class TestSweep:
+    def test_parallel_sweep_matches_sequential_toolchain_loop(self):
+        diagrams = [
+            partial(build_egpws_diagram, lookahead=16),
+            partial(build_polka_diagram, pixels=32),
+        ]
+        platforms = [
+            partial(generic_predictable_multicore, cores=4),
+            partial(recore_xentium_like, dsp_cores=4, control_cores=0),
+        ]
+        configs = [
+            ToolchainConfig(scheduler="wcet_list", **SMALL),
+            ToolchainConfig(scheduler="sequential", **SMALL),
+        ]
+        parallel = sweep(
+            diagrams=diagrams, platforms=platforms, configs=configs, max_workers=2
+        )
+        assert parallel.max_workers > 1
+        assert parallel.ok
+        assert len(parallel) == 8
+        # the equivalent hand-rolled sequential loop over ArgoToolchain.run
+        cases = sweep_grid(diagrams, platforms, configs)
+        for case, outcome in zip(cases, parallel):
+            diagram, platform = case.materialize()
+            reference = ArgoToolchain(platform, case.config).run(diagram)
+            assert outcome.system_wcet == reference.system_wcet  # bit-identical
+            assert outcome.sequential_wcet == reference.sequential_wcet
+            assert outcome.diagram_name == diagram.name
+            assert outcome.platform_name == platform.name
+
+    def test_inline_sweep_keeps_results_and_shares_cache(self, platform):
+        from repro.wcet.cache import WcetAnalysisCache
+
+        cache = WcetAnalysisCache()
+        result = sweep(
+            [
+                SweepCase(
+                    diagram=build_polka_diagram(pixels=32),
+                    platform=platform,
+                    config=ToolchainConfig(**SMALL),
+                ),
+                SweepCase(
+                    diagram=build_polka_diagram(pixels=32),
+                    platform=platform,
+                    config=ToolchainConfig(scheduler="sequential", **SMALL),
+                ),
+            ],
+            cache=cache,
+            keep_results=True,
+        )
+        assert result.ok
+        assert all(outcome.result is not None for outcome in result)
+        # the second case re-used the first case's code-level analyses
+        assert result[1].cache_stats["misses"] < result[0].cache_stats["misses"]
+        assert result.best().system_wcet == min(o.system_wcet for o in result)
+
+    def test_failing_case_is_reported_not_raised(self, platform):
+        from repro.adl import Core, Platform, ProcessorModel, RoundRobinBus
+        from repro.adl.memory import scratchpad, shared_sram
+
+        bad_proc = ProcessorModel("bad", dynamic_branch_prediction=True)
+        bad_platform = Platform(
+            "bad", [Core(0, bad_proc, scratchpad("s"))], shared_sram(), RoundRobinBus()
+        )
+        result = sweep(
+            [
+                SweepCase(
+                    diagram=build_polka_diagram(pixels=32),
+                    platform=bad_platform,
+                    config=ToolchainConfig(**SMALL),
+                ),
+                SweepCase(
+                    diagram=build_polka_diagram(pixels=32),
+                    platform=platform,
+                    config=ToolchainConfig(**SMALL),
+                ),
+            ]
+        )
+        assert not result.ok
+        assert len(result.failures()) == 1
+        assert "predictability" in result[0].error
+        # inline sweeps keep the original exception for callers (the
+        # feedback loop re-raises it with type and traceback intact)
+        from repro.core import ToolchainError
+
+        assert isinstance(result[0].exception, ToolchainError)
+        assert result[1].ok
+        rendered = result.render()
+        assert "ERROR" in rendered
+
+    def test_sweep_rejects_conflicting_arguments(self, platform):
+        case = SweepCase(
+            diagram=build_polka_diagram(pixels=32),
+            platform=platform,
+            config=ToolchainConfig(**SMALL),
+        )
+        with pytest.raises(ValueError):
+            sweep()
+        with pytest.raises(ValueError):
+            sweep([case], diagrams=[1])
+        with pytest.raises(ValueError):
+            sweep([case], max_workers=0)
+        with pytest.raises(ValueError):
+            sweep([case, case], max_workers=2, keep_results=True)
+
+    def test_sweep_table_is_tabular(self, platform):
+        result = sweep(
+            [
+                SweepCase(
+                    diagram=build_polka_diagram(pixels=32),
+                    platform=platform,
+                    config=ToolchainConfig(**SMALL),
+                )
+            ]
+        )
+        rows = result.as_dicts()
+        assert rows[0]["diagram"] == "polka"
+        assert rows[0]["scheduler"] == "wcet_list"
+        assert "parallel WCET" in result.render()

@@ -302,8 +302,8 @@ class TestDiskPersistence:
         self._analyze_all(cache)
         cache.flush()
         vdir = tmp_path / "cache" / f"v{CACHE_SCHEMA_VERSION}"
-        assert (vdir / "entries.jsonl").exists()
-        assert (vdir / "stats.jsonl").exists()
+        assert list(vdir.glob("entries*.jsonl"))
+        assert list(vdir.glob("stats*.jsonl"))
 
     def test_foreign_versions_and_torn_lines_are_ignored(self, tmp_path):
         from repro.wcet.cache import CACHE_SCHEMA_VERSION
@@ -316,9 +316,10 @@ class TestDiskPersistence:
         assert len(cache) == 0
         self._analyze_all(cache)
         cache.flush()
-        # a torn concurrent append must not break loading
-        entries = cache_dir / f"v{CACHE_SCHEMA_VERSION}" / "entries.jsonl"
-        with entries.open("a") as fh:
+        # a torn line in any shard must not break loading (the legacy
+        # append-only entries.jsonl is still read as a shard)
+        legacy = cache_dir / f"v{CACHE_SCHEMA_VERSION}" / "entries.jsonl"
+        with legacy.open("a") as fh:
             fh.write('{"key": "torn", "tot')
         reloaded = WcetAnalysisCache.open(cache_dir)
         assert len(reloaded) == len(cache)
@@ -339,6 +340,34 @@ class TestDiskPersistence:
         assert totals["misses"] == first.stats.misses
         assert totals["disk_hits"] == second.stats.disk_hits
         assert totals["flushed"] == len(first)
+
+    def test_two_instances_flush_to_disjoint_shards(self, tmp_path):
+        """Concurrent flushers own private shard files; load merges them."""
+        from repro.wcet.cache import CACHE_SCHEMA_VERSION
+
+        cache_dir = tmp_path / "cache"
+        first = WcetAnalysisCache.open(cache_dir)
+        second = WcetAnalysisCache.open(cache_dir)
+        self._analyze_all(first)
+        # second analyses a different platform -> different cost signature
+        model, htg, _ = build_case("workloads")
+        platform = generic_predictable_multicore(cores=2, shared_latency=16)
+        for task in htg.leaf_tasks():
+            analyze_task_wcet(task, model.entry, HardwareCostModel(platform, 0), cache=second)
+        first.flush()
+        second.flush()
+        vdir = cache_dir / f"v{CACHE_SCHEMA_VERSION}"
+        shards = list(vdir.glob("entries-*.jsonl"))
+        assert len(shards) == 2  # one private shard per flushing instance
+        # repeated flushes rewrite in place instead of growing new files
+        self._analyze_all(second)
+        second.flush()
+        assert len(list(vdir.glob("entries-*.jsonl"))) == 2
+        assert not list(vdir.glob("*.tmp"))  # tempfiles are always replaced
+        merged = WcetAnalysisCache.open(cache_dir)
+        assert len(merged) == len(first) + len(second) - len(
+            set(first._entries) & set(second._entries)
+        )
 
     def test_reattach_flushes_everything_to_new_dir(self, tmp_path):
         cache = WcetAnalysisCache.open(tmp_path / "a")
@@ -396,7 +425,7 @@ class TestDiskPersistence:
             self._analyze_all(cache)
         finally:
             reset_shared_cache()  # flushes, then detaches from the env var
-        assert (cache_dir / "v1" / "entries.jsonl").exists()
+        assert list((cache_dir / "v1").glob("entries*.jsonl"))
         monkeypatch.delenv(CACHE_DIR_ENV_VAR)
         reset_shared_cache()
         assert shared_cache().cache_dir is None
