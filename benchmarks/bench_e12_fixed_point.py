@@ -79,8 +79,11 @@ def _time_backend(htg, function, platform, mapping, order, cache, backend, repea
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
+        # result_cache=False: this experiment times the fixed point itself,
+        # so the system-level result memo must not short-circuit the repeats
         result = system_level_wcet(
-            htg, function, platform, mapping, order, cache=cache, mhp_backend=backend
+            htg, function, platform, mapping, order, cache=cache,
+            mhp_backend=backend, result_cache=False,
         )
         best = min(best, time.perf_counter() - t0)
     return result, best

@@ -13,14 +13,21 @@ exit status) plus environment metadata, giving the repository a perf
 trajectory across PRs instead of an empty bench history.
 
 With ``--cache-dir DIR`` every experiment subprocess shares one disk-backed
-WCET analysis cache (via the ``REPRO_WCET_CACHE_DIR`` environment variable):
-the first sweep populates the cache, subsequent sweeps hit it.  The record
-then carries per-experiment and total hit/disk-hit/miss counts -- the miss
-total is the number of actual code-level re-analyses, which a warm cache
-drives to zero::
+result cache (via the ``REPRO_WCET_CACHE_DIR`` environment variable): the
+first sweep populates both tiers -- code-level WCET analyses and
+system-level fixed-point results -- and subsequent sweeps hit them.  The
+record then carries per-experiment and total hit/disk-hit/miss counts: the
+code-level miss total is the number of actual code-level re-analyses and
+the system-level miss total the number of fixed points actually run, both
+of which a warm cache drives to zero::
 
     python benchmarks/run_all.py --cache-dir .wcet_cache --tag cold
     python benchmarks/run_all.py --cache-dir .wcet_cache --tag warm
+
+``--cache-evict-entries`` / ``--cache-evict-bytes`` bound the directory
+after the run (``python -m repro cache evict`` is the standalone
+equivalent), so nightly drivers can keep shared caches from growing without
+bound.
 
 ``--sweep`` additionally runs a design-space sweep smoke test through the
 parallel sweep runner (``repro.core.sweep``): a 2 diagrams x 2 platforms x 2
@@ -165,6 +172,22 @@ def main(argv: list[str] | None = None) -> int:
         "subprocesses and record cache hit/miss counts in the BENCH record",
     )
     parser.add_argument(
+        "--cache-evict-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after the run, bound the shared cache directory to at most N entries "
+        "across both tiers (requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-evict-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="after the run, bound the shared cache directory's serialized entry "
+        "bytes (requires --cache-dir)",
+    )
+    parser.add_argument(
         "--sweep",
         action="store_true",
         help="also run the parallel design-space sweep smoke test and record it",
@@ -187,6 +210,13 @@ def main(argv: list[str] | None = None) -> int:
         help="extra arguments forwarded to pytest",
     )
     args = parser.parse_args(argv)
+
+    if args.cache_dir is None and (
+        args.cache_evict_entries is not None or args.cache_evict_bytes is not None
+    ):
+        # fail before spending minutes on experiments whose record would
+        # then be discarded by the conflicting arguments
+        parser.error("--cache-evict-entries/--cache-evict-bytes need --cache-dir")
 
     benchmarks = [] if args.skip_benchmarks else discover_benchmarks()
     if args.only and not args.skip_benchmarks:
@@ -213,10 +243,15 @@ def main(argv: list[str] | None = None) -> int:
             record["cache"] = {
                 key: after[key] - before[key] for key in ("hits", "disk_hits", "misses")
             }
+            record["cache"]["system"] = {
+                key: after["system"][key] - before["system"][key]
+                for key in ("hits", "disk_hits", "misses")
+            }
             before = after
             status += (
                 f"  [cache: {record['cache']['hits']}+{record['cache']['disk_hits']} hits"
-                f" / {record['cache']['misses']} misses]"
+                f" / {record['cache']['misses']} misses; "
+                f"{record['cache']['system']['misses']} fixed points]"
             )
         print(f"[run_all]   {status} in {record['seconds']:.1f}s  ({record['summary']})")
         results.append(record)
@@ -244,6 +279,10 @@ def main(argv: list[str] | None = None) -> int:
             key: end_stats[key] - sweep_start_stats[key]
             for key in ("hits", "disk_hits", "misses", "flushed")
         }
+        system = {
+            key: end_stats["system"][key] - sweep_start_stats["system"][key]
+            for key in ("hits", "disk_hits", "misses", "flushed")
+        }
         record["cache"] = {
             "dir": str(cache_dir),
             **sweep,
@@ -251,12 +290,33 @@ def main(argv: list[str] | None = None) -> int:
             #: fully warm cache
             "code_level_reanalyses": sweep["misses"],
             "entries_on_disk": end_stats["entries"],
+            #: system-level result tier: its misses are the fixed points
+            #: actually run; zero on a fully warm result cache
+            "system": {
+                **system,
+                "fixed_points_run": system["misses"],
+                "entries_on_disk": end_stats["system"]["entries"],
+            },
         }
         print(
             f"[run_all] cache: {sweep['hits']}+{sweep['disk_hits']} hits / "
             f"{sweep['misses']} code-level re-analyses, "
-            f"{end_stats['entries']} entries on disk"
+            f"{system['misses']} system-level fixed points run, "
+            f"{end_stats['entries']}+{end_stats['system']['entries']} entries on disk"
         )
+        if args.cache_evict_entries is not None or args.cache_evict_bytes is not None:
+            from repro.wcet.cache import WcetAnalysisCache
+
+            evict_report = WcetAnalysisCache.open(cache_dir).evict(
+                max_entries=args.cache_evict_entries,
+                max_bytes=args.cache_evict_bytes,
+            )
+            record["cache"]["evicted"] = evict_report
+            print(
+                f"[run_all] cache evict: kept {evict_report['kept']} entries "
+                f"({evict_report['kept_bytes']} bytes), "
+                f"evicted {evict_report['evicted']}"
+            )
     out_path = args.out_dir / f"BENCH_{args.tag}.json"
     out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"[run_all] wrote {out_path} ({len(results)} experiments, "

@@ -1,0 +1,136 @@
+"""Maintenance command line of the repro flow (``python -m repro``).
+
+Currently one command family, ``cache``, operating on shared result-cache
+directories (the ones named by ``REPRO_WCET_CACHE_DIR``, ``sweep
+(cache_dir=...)`` or ``benchmarks/run_all.py --cache-dir``)::
+
+    python -m repro cache stats  .wcet_cache
+    python -m repro cache evict  .wcet_cache --max-entries 50000
+    python -m repro cache evict  .wcet_cache --max-bytes 64000000 --max-age-days 30
+
+``stats`` aggregates the hit/miss records and entry counts of both cache
+tiers (code-level WCET analyses and system-level fixed-point results);
+``evict`` applies the size/age-bounded eviction policy of
+:meth:`repro.wcet.cache.WcetAnalysisCache.evict` so long-lived shared
+directories stop growing without bound.  Entries of other schema versions
+are never touched; delete stale ``v<N>`` subdirectories manually once no
+older deployment reads them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.wcet.cache import (
+    CACHE_SCHEMA_VERSION,
+    WcetAnalysisCache,
+    read_cache_dir_stats,
+)
+
+
+def _dir_bytes(cache_dir: Path) -> int:
+    """Total size of the current schema version's shard files."""
+    vdir = cache_dir / f"v{CACHE_SCHEMA_VERSION}"
+    if not vdir.is_dir():
+        return 0
+    return sum(path.stat().st_size for path in vdir.glob("*.jsonl"))
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    if not Path(args.cache_dir).is_dir():
+        # all-zero stats for a mistyped path would read like a healthy
+        # empty cache; fail loudly instead
+        print(f"no such cache directory: {args.cache_dir}", file=sys.stderr)
+        return 2
+    totals = read_cache_dir_stats(args.cache_dir)
+    system = totals["system"]
+    print(f"cache directory : {args.cache_dir}")
+    print(f"schema version  : v{CACHE_SCHEMA_VERSION}")
+    print(f"shard bytes     : {_dir_bytes(Path(args.cache_dir))}")
+    print(
+        "code level      : "
+        f"{totals['entries']} entries, {totals['hits']}+{totals['disk_hits']} hits / "
+        f"{totals['misses']} misses, {totals['flushed']} flushed"
+    )
+    print(
+        "system level    : "
+        f"{system['entries']} results, {system['hits']}+{system['disk_hits']} hits / "
+        f"{system['misses']} fixed points run, {system['flushed']} flushed"
+    )
+    return 0
+
+
+def _cmd_cache_evict(args: argparse.Namespace) -> int:
+    if args.max_entries is None and args.max_bytes is None and args.max_age_days is None:
+        print(
+            "nothing to do: pass at least one of --max-entries, --max-bytes, "
+            "--max-age-days",
+            file=sys.stderr,
+        )
+        return 2
+    if not Path(args.cache_dir).is_dir():
+        # opening would silently create the directory, and an operator who
+        # mistyped the path must not be told the real cache was bounded
+        print(f"no such cache directory: {args.cache_dir}", file=sys.stderr)
+        return 2
+    before = _dir_bytes(Path(args.cache_dir))
+    cache = WcetAnalysisCache.open(args.cache_dir)
+    report = cache.evict(
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_age_seconds=None if args.max_age_days is None else args.max_age_days * 86400.0,
+    )
+    after = _dir_bytes(Path(args.cache_dir))
+    tiers = report["tiers"]
+    print(
+        f"evicted {report['evicted']} entries, kept {report['kept']} "
+        f"(code: {tiers.get('code', 0)}, system: {tiers.get('system', 0)}); "
+        f"shard bytes {before} -> {after}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        # not derived from __doc__: it is None under `python -OO`
+        description="Maintenance command line of the repro flow.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cache = commands.add_parser("cache", help="inspect / bound a shared cache directory")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    stats = cache_commands.add_parser("stats", help="aggregate hit/miss and entry counts")
+    stats.add_argument("cache_dir", help="the cache directory to inspect")
+    stats.set_defaults(func=_cmd_cache_stats)
+
+    evict = cache_commands.add_parser(
+        "evict", help="bound the directory by entry count, bytes and/or age"
+    )
+    evict.add_argument("cache_dir", help="the cache directory to bound")
+    evict.add_argument(
+        "--max-entries", type=int, default=None,
+        help="keep at most this many entries across both tiers",
+    )
+    evict.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="keep at most this many serialized entry bytes",
+    )
+    evict.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="drop entries whose shard is older (entries used by this run are exempt)",
+    )
+    evict.set_defaults(func=_cmd_cache_evict)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

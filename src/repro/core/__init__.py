@@ -16,9 +16,11 @@ from repro.core.pipeline import (
     PipelineError,
     PipelineResult,
     Stage,
+    StageArtifactCache,
     StageRecord,
     default_stages,
     run_pipeline,
+    shared_stage_cache,
 )
 from repro.core.sweep import SweepCase, SweepOutcome, SweepResult, sweep, sweep_grid
 from repro.core.toolchain import ArgoToolchain, ToolchainResult
@@ -34,9 +36,11 @@ __all__ = [
     "PipelineError",
     "PipelineResult",
     "Stage",
+    "StageArtifactCache",
     "StageRecord",
     "default_stages",
     "run_pipeline",
+    "shared_stage_cache",
     "SweepCase",
     "SweepOutcome",
     "SweepResult",

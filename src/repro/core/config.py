@@ -43,6 +43,14 @@ class ToolchainConfig:
     feedback_iterations: int = 1
     contention_weight: float = 1.0
     seed: int = 0
+    #: Opt into the pipeline's per-stage artifact cache: stages that declare
+    #: a content-addressed cache key (the built-in ``schedule`` and ``wcet``
+    #: stages do) reuse their artifacts across runs with identical inputs.
+    #: The flow is deterministic, so cached and recomputed runs are
+    #: bit-identical; the knob exists because caching whole schedules trades
+    #: memory for time, which is the driver's call (sweeps over repeated
+    #: design points want it, one-shot runs do not care).
+    stage_cache: bool = False
 
     def __post_init__(self) -> None:
         # Registries are imported lazily: config is a leaf module and the
@@ -70,6 +78,10 @@ class ToolchainConfig:
             raise ValueError(
                 f"contention_weight must be a finite non-negative number, "
                 f"got {self.contention_weight!r}"
+            )
+        if not isinstance(self.stage_cache, bool):
+            raise ValueError(
+                f"stage_cache must be a bool, got {self.stage_cache!r}"
             )
         if self.scratchpad_capacity_bytes is not None and self.scratchpad_capacity_bytes < 1:
             raise ValueError(

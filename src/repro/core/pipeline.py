@@ -22,6 +22,14 @@ Custom stages slot in through :meth:`Pipeline.with_stage` /
 ``schedule`` -- the dependency graph, not the insertion order, decides when
 it runs.
 
+Stages can opt into **per-stage artifact caching** by declaring a
+content-addressed ``cache_key`` (the built-in ``schedule`` and ``wcet``
+stages do): when a :class:`StageArtifactCache` is active -- passed
+explicitly, or process-wide via ``ToolchainConfig.stage_cache`` -- a stage
+whose key matches a previous run returns its cached artifacts instead of
+re-running, and the hit/miss deltas surface in
+``PipelineResult.cache_stats`` (``stage_hits`` / ``stage_misses``).
+
 :class:`~repro.core.toolchain.ArgoToolchain` is a thin compatibility facade
 over this module, and :func:`repro.core.sweep.sweep` runs whole grids of
 (diagram, platform, config) combinations through :func:`run_pipeline`
@@ -30,7 +38,14 @@ concurrently.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
+import hashlib
+import itertools
+import json
 import time
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -49,7 +64,7 @@ from repro.transforms import PassManager
 from repro.transforms.base import PassReport
 from repro.transforms.registry import PassContext, build_pass_pipeline
 from repro.wcet import HardwareCostModel
-from repro.wcet.cache import WcetAnalysisCache, shared_cache
+from repro.wcet.cache import WcetAnalysisCache, platform_signature, shared_cache
 from repro.wcet.code_level import analyze_function_wcet
 
 
@@ -69,6 +84,12 @@ class Stage:
     the artifacts it produces (it must cover exactly ``produces``).  Extra
     diagnostic values can be recorded in ``context.info``; they end up in the
     stage's :class:`StageRecord`.
+
+    ``cache_key`` opts the stage into the per-stage artifact cache: called
+    with the context *before* ``run``, it must return a stable
+    content-addressed key covering **everything** the stage's outputs depend
+    on -- or ``None`` when the inputs cannot be fingerprinted, which skips
+    caching for that run.  Stages without a ``cache_key`` are never cached.
     """
 
     name: str
@@ -76,6 +97,64 @@ class Stage:
     consumes: tuple[str, ...] = ()
     produces: tuple[str, ...] = ()
     description: str = ""
+    cache_key: Callable[["PipelineContext"], str | None] | None = None
+
+
+class StageArtifactCache:
+    """In-memory LRU of per-stage artifact bundles.
+
+    Keys are ``(stage name, content key)``; values are the stage's produced
+    artifacts plus its diagnostic info.  Entries are deep-copied on both
+    store and lookup so no run can mutate another run's artifacts through
+    the cache.  The cache is bounded (whole schedules are not small) and
+    in-process only -- cross-process reuse is what the disk-backed WCET /
+    system-result tiers are for.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple[str, str], tuple[dict, dict]]" = OrderedDict()
+
+    def lookup(self, stage: str, key: str) -> tuple[dict, dict] | None:
+        """Cached ``(artifacts, info)`` of one stage run, or ``None``."""
+        entry = self._entries.get((stage, key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((stage, key))
+        self.hits += 1
+        artifacts, info = entry
+        return copy.deepcopy(artifacts), copy.deepcopy(info)
+
+    def store(self, stage: str, key: str, artifacts: Mapping[str, Any], info: Mapping[str, Any]) -> None:
+        self._entries[(stage, key)] = (
+            copy.deepcopy(dict(artifacts)),
+            copy.deepcopy(dict(info)),
+        )
+        self._entries.move_to_end((stage, key))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_shared_stage_cache: StageArtifactCache | None = None
+
+
+def shared_stage_cache() -> StageArtifactCache:
+    """The process-wide stage cache used when ``config.stage_cache`` is set."""
+    global _shared_stage_cache
+    if _shared_stage_cache is None:
+        _shared_stage_cache = StageArtifactCache()
+    return _shared_stage_cache
 
 
 @dataclass
@@ -130,7 +209,10 @@ class PipelineResult:
     stage_records: list[StageRecord] = field(default_factory=list)
     #: Every artifact of the run, including those of custom stages.
     artifacts: dict[str, Any] = field(default_factory=dict)
-    #: WCET-cache counter deltas of this run: hits / disk_hits / misses.
+    #: Cache counter deltas of this run: code-level WCET lookups
+    #: (``hits`` / ``disk_hits`` / ``misses``) plus the per-stage artifact
+    #: cache (``stage_hits`` / ``stage_misses``, always present and zero
+    #: when stage caching is disabled or no stage opted in).
     cache_stats: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -245,6 +327,117 @@ def _wcet_stage(context: PipelineContext) -> dict[str, Any]:
     return {"sequential_bound": sequential_bound}
 
 
+# ---------------------------------------------------------------------- #
+# content-addressed stage cache keys (see Stage.cache_key)
+# ---------------------------------------------------------------------- #
+def _config_digest(config: ToolchainConfig) -> str:
+    return hashlib.sha1(
+        json.dumps(dataclasses.asdict(config), sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+
+
+def _htg_fingerprint(context: PipelineContext, htg: HierarchicalTaskGraph) -> str:
+    """Structural fingerprint of an HTG: tasks by content, edges by payload."""
+    cache = context.wcet_cache
+    tasks = sorted(
+        (
+            task.task_id,
+            "synthetic" if task.is_synthetic or task.statements is None
+            else cache.region_fingerprint(task.statements),
+        )
+        for task in htg.tasks.values()
+    )
+    edges = sorted((e.src, e.dst, e.payload_bytes) for e in htg.edges)
+    return hashlib.sha1(
+        json.dumps([tasks, edges], separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+#: scheduler callable -> monotonic token: identifies the *implementation*
+#: without the id()-reuse hazard (a freed callable's address can be handed
+#: to its replacement; a weak key dies with the callable and the counter
+#: never repeats, so a re-registered scheduler always gets a fresh token)
+_scheduler_tokens: "weakref.WeakKeyDictionary[Callable, int]" = weakref.WeakKeyDictionary()
+_scheduler_token_counter = itertools.count()
+
+
+def _scheduler_identity(name: str) -> str | None:
+    """Process-local identity of the implementation behind a scheduler name.
+
+    ``config.scheduler`` is resolved through a registry that explicitly
+    supports re-registration (``replace=True``), so the name alone does not
+    pin what the schedule stage will run.  The stage cache is strictly
+    per-process, which makes a per-callable token a valid key component;
+    callables that cannot be weakly referenced return ``None`` (the stage
+    is then uncacheable rather than at risk of a stale hit).
+    """
+    build = get_scheduler(name).build
+    try:
+        token = _scheduler_tokens.get(build)
+        if token is None:
+            token = next(_scheduler_token_counter)
+            _scheduler_tokens[build] = token
+    except TypeError:
+        return None
+    return (
+        f"{getattr(build, '__module__', '')}."
+        f"{getattr(build, '__qualname__', '')}#{token}"
+    )
+
+
+def _schedule_stage_key(context: PipelineContext) -> str | None:
+    """Everything the schedule depends on: IR, HTG, platform content, config,
+    and the concrete scheduler implementation the registry resolves to."""
+    psig = platform_signature(context.platform)
+    if psig is None:
+        return None
+    scheduler_id = _scheduler_identity(context.config.scheduler)
+    if scheduler_id is None:
+        return None
+    model: CompiledModel = context.artifact("transformed_model")
+    return "|".join(
+        (
+            "schedule",
+            context.wcet_cache.function_fingerprint(model.entry),
+            _htg_fingerprint(context, context.artifact("htg")),
+            psig,
+            _config_digest(context.config),
+            scheduler_id,
+        )
+    )
+
+
+def _schedule_digest(schedule: Schedule) -> str:
+    """Content digest of a schedule artifact (mapping, order, bound)."""
+    payload = [
+        sorted(schedule.mapping.items()),
+        sorted((core, list(tids)) for core, tids in schedule.order.items()),
+        schedule.wcet_bound,
+    ]
+    return hashlib.sha1(
+        json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def _wcet_stage_key(context: PipelineContext) -> str | None:
+    """Everything the stage touches: the IR and platform determine the
+    produced bound, and the consumed schedule pins the diagnostics -- a
+    custom schedule stage must never replay another schedule's info."""
+    psig = platform_signature(context.platform)
+    if psig is None:
+        return None
+    model: CompiledModel = context.artifact("transformed_model")
+    return "|".join(
+        (
+            "wcet",
+            context.wcet_cache.function_fingerprint(model.entry),
+            psig,
+            _config_digest(context.config),
+            _schedule_digest(context.artifact("schedule")),
+        )
+    )
+
+
 def default_stages() -> tuple[Stage, ...]:
     """The six built-in stages of the Fig. 1 flow."""
     return (
@@ -275,6 +468,7 @@ def default_stages() -> tuple[Stage, ...]:
             consumes=("transformed_model", "htg"),
             produces=("schedule",),
             description="WCET-aware mapping/scheduling (via the scheduler registry)",
+            cache_key=_schedule_stage_key,
         ),
         Stage(
             name="parallel",
@@ -289,6 +483,7 @@ def default_stages() -> tuple[Stage, ...]:
             consumes=("transformed_model", "schedule"),
             produces=("sequential_bound",),
             description="sequential reference bound (system bound lives on the schedule)",
+            cache_key=_wcet_stage_key,
         ),
     )
 
@@ -350,6 +545,7 @@ class Pipeline:
         config: ToolchainConfig | None = None,
         wcet_cache: WcetAnalysisCache | None = None,
         stages: tuple[Stage, ...] | None = None,
+        stage_cache: StageArtifactCache | None = None,
     ) -> None:
         self.platform = platform
         self.config = config or ToolchainConfig()
@@ -358,6 +554,12 @@ class Pipeline:
         #: explorations).  Defaults to the process-wide shared cache, which
         #: is disk-backed when ``REPRO_WCET_CACHE_DIR`` is set.
         self.wcet_cache = wcet_cache if wcet_cache is not None else shared_cache()
+        #: Per-stage artifact cache; stages that declare a ``cache_key``
+        #: reuse their outputs through it.  ``None`` disables stage caching
+        #: unless ``config.stage_cache`` opts into the process-wide cache.
+        if stage_cache is None and self.config.stage_cache:
+            stage_cache = shared_stage_cache()
+        self.stage_cache = stage_cache
         self.stages = _order_stages(tuple(stages) if stages is not None else default_stages())
         report = platform.check_predictability()
         if not report.passed:
@@ -372,7 +574,11 @@ class Pipeline:
     def with_stage(self, stage: Stage) -> "Pipeline":
         """A new pipeline with ``stage`` added (position decided by the graph)."""
         return Pipeline(
-            self.platform, self.config, self.wcet_cache, stages=self.stages + (stage,)
+            self.platform,
+            self.config,
+            self.wcet_cache,
+            stages=self.stages + (stage,),
+            stage_cache=self.stage_cache,
         )
 
     def replace_stage(self, name: str, stage: Stage) -> "Pipeline":
@@ -380,14 +586,20 @@ class Pipeline:
         if all(s.name != name for s in self.stages):
             raise PipelineError(f"no stage named {name!r} to replace")
         stages = tuple(stage if s.name == name else s for s in self.stages)
-        return Pipeline(self.platform, self.config, self.wcet_cache, stages=stages)
+        return Pipeline(
+            self.platform, self.config, self.wcet_cache, stages=stages,
+            stage_cache=self.stage_cache,
+        )
 
     def without_stage(self, name: str) -> "Pipeline":
         """A new pipeline with the stage called ``name`` removed."""
         if all(s.name != name for s in self.stages):
             raise PipelineError(f"no stage named {name!r} to remove")
         stages = tuple(s for s in self.stages if s.name != name)
-        return Pipeline(self.platform, self.config, self.wcet_cache, stages=stages)
+        return Pipeline(
+            self.platform, self.config, self.wcet_cache, stages=stages,
+            stage_cache=self.stage_cache,
+        )
 
     # ------------------------------------------------------------------ #
     # execution
@@ -408,10 +620,26 @@ class Pipeline:
         stats = self.wcet_cache.stats
         counters_before = (stats.hits, stats.disk_hits, stats.misses)
         records: list[StageRecord] = []
+        stage_hits = 0
+        stage_misses = 0
         for stage in self.stages:
             context.info = {}
             started = time.perf_counter()
-            produced = dict(stage.run(context) or {})
+            produced: dict[str, Any] | None = None
+            cached_info: dict[str, Any] | None = None
+            cache_key: str | None = None
+            if self.stage_cache is not None and stage.cache_key is not None:
+                cache_key = stage.cache_key(context)
+                if cache_key is not None:
+                    cached = self.stage_cache.lookup(stage.name, cache_key)
+                    if cached is not None:
+                        produced, cached_info = cached
+                        stage_hits += 1
+                    else:
+                        stage_misses += 1
+            from_cache = produced is not None
+            if produced is None:
+                produced = dict(stage.run(context) or {})
             seconds = time.perf_counter() - started
             missing = [a for a in stage.produces if a not in produced]
             if missing:
@@ -420,12 +648,19 @@ class Pipeline:
                     f"{', '.join(missing)}"
                 )
             context.artifacts.update(produced)
+            if from_cache:
+                info = dict(cached_info or {})
+                info["stage_cache"] = "hit"
+            else:
+                info = dict(context.info)
+                if cache_key is not None:
+                    self.stage_cache.store(stage.name, cache_key, produced, info)
             records.append(
                 StageRecord(
                     name=stage.name,
                     seconds=seconds,
                     produced=tuple(produced),
-                    info=dict(context.info),
+                    info=info,
                 )
             )
         cache_stats = {
@@ -436,6 +671,8 @@ class Pipeline:
                 (stats.hits, stats.disk_hits, stats.misses),
             )
         }
+        cache_stats["stage_hits"] = stage_hits
+        cache_stats["stage_misses"] = stage_misses
         return self._assemble_result(diagram, context, records, cache_stats)
 
     def _assemble_result(
@@ -493,12 +730,15 @@ def run_pipeline(
     platform: Platform,
     config: ToolchainConfig | None = None,
     wcet_cache: WcetAnalysisCache | None = None,
+    stage_cache: StageArtifactCache | None = None,
 ) -> PipelineResult:
     """Run the complete flow, honouring ``config.feedback_iterations``.
 
     Mirrors ``ArgoToolchain.run``: with ``feedback_iterations > 1`` the
     cross-layer feedback loop explores neighbouring configurations (itself an
-    inline sweep) and returns the best result.
+    inline sweep) and returns the best result.  ``stage_cache`` opts the
+    single-shot path into per-stage artifact reuse (the feedback path
+    manages its own pipelines and only honours ``config.stage_cache``).
     """
     config = config or ToolchainConfig()
     if config.feedback_iterations > 1:
@@ -508,4 +748,4 @@ def run_pipeline(
         return CrossLayerFeedback(ArgoToolchain(platform, config, wcet_cache)).optimize(
             diagram
         )
-    return Pipeline(platform, config, wcet_cache).run(diagram)
+    return Pipeline(platform, config, wcet_cache, stage_cache=stage_cache).run(diagram)

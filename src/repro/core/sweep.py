@@ -33,11 +33,12 @@ import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.adl.architecture import Platform
 from repro.core.config import ToolchainConfig
-from repro.core.pipeline import PipelineResult, run_pipeline
+from repro.core.pipeline import PipelineResult, StageArtifactCache, run_pipeline
 from repro.model.diagram import Diagram
 from repro.utils.tables import Table
 from repro.wcet.cache import WcetAnalysisCache, shared_cache
@@ -103,6 +104,8 @@ class SweepOutcome:
             "sequential_wcet": self.sequential_wcet,
             "wcet_speedup": self.wcet_speedup,
             "seconds": self.seconds,
+            "stage_seconds": dict(self.stage_seconds),
+            "cache_stats": dict(self.cache_stats),
             "error": self.error,
         }
 
@@ -202,7 +205,10 @@ def _describe_spec(spec: Any) -> str:
 
 
 def _execute_case(
-    index: int, case: SweepCase, cache: WcetAnalysisCache | None
+    index: int,
+    case: SweepCase,
+    cache: WcetAnalysisCache | None,
+    stage_cache: StageArtifactCache | None = None,
 ) -> SweepOutcome:
     outcome = SweepOutcome(
         index=index,
@@ -216,11 +222,15 @@ def _execute_case(
         diagram, platform = case.materialize()
         outcome.diagram_name = diagram.name
         outcome.platform_name = platform.name
-        result = run_pipeline(diagram, platform, case.config, wcet_cache=cache)
+        result = run_pipeline(
+            diagram, platform, case.config, wcet_cache=cache, stage_cache=stage_cache
+        )
         outcome.system_wcet = result.system_wcet
         outcome.sequential_wcet = result.sequential_wcet
         outcome.wcet_speedup = result.wcet_speedup
-        outcome.stage_seconds = result.timings
+        # private copies: PipelineResult owns its dicts and the outcome must
+        # not become a mutation alias of them (nor vice versa)
+        outcome.stage_seconds = dict(result.timings)
         outcome.cache_stats = dict(result.cache_stats)
         outcome.result = result
     except Exception as exc:  # noqa: BLE001 - one bad case must not kill the sweep
@@ -245,11 +255,26 @@ def _worker_cache(cache_dir: str) -> WcetAnalysisCache:
     return cache
 
 
-def _worker_run_case(args: tuple[int, SweepCase, str | None]) -> SweepOutcome:
+#: One stage-artifact cache per worker process (stage artifacts are
+#: in-memory only; cross-process reuse goes through the disk-backed WCET /
+#: system-result tiers instead).
+_WORKER_STAGE_CACHE: StageArtifactCache | None = None
+
+
+def _worker_stage_cache() -> StageArtifactCache:
+    global _WORKER_STAGE_CACHE
+    if _WORKER_STAGE_CACHE is None:
+        _WORKER_STAGE_CACHE = StageArtifactCache()
+    return _WORKER_STAGE_CACHE
+
+
+def _worker_run_case(args: tuple[int, SweepCase, str | None, bool]) -> SweepOutcome:
     """Run one case in a worker process, flushing the shared disk cache."""
-    index, case, cache_dir = args
+    index, case, cache_dir, stage_cache = args
     cache = _worker_cache(cache_dir) if cache_dir else shared_cache()
-    outcome = _execute_case(index, case, cache)
+    outcome = _execute_case(
+        index, case, cache, _worker_stage_cache() if stage_cache else None
+    )
     # PipelineResult objects can be large and tracebacks do not pickle;
     # workers return tabular data only.
     outcome.result = None
@@ -271,14 +296,23 @@ def sweep(
     cache_dir: str | None = None,
     cache: WcetAnalysisCache | None = None,
     keep_results: bool = False,
+    stage_cache: bool = False,
 ) -> SweepResult:
     """Run every case (or the ``diagrams x platforms x configs`` grid).
 
     Exactly one of ``cases`` or the three grid axes must be given.  See the
-    module docstring for the execution modes; ``cache`` (in-process sharing)
-    and ``cache_dir`` (cross-process disk sharing) are mutually exclusive
-    with each other only in spirit -- ``cache`` wins for in-process sweeps,
-    ``cache_dir`` is what worker processes use.
+    module docstring for the execution modes.  ``cache`` names the live
+    in-process cache to use and ``cache_dir`` the disk directory shared
+    across processes; given together (in-process mode), the cache is
+    attached to the directory via :meth:`~repro.wcet.cache.WcetAnalysisCache.load`,
+    so warm entries are pulled in and the trailing flush actually persists.
+    ``stage_cache=True`` additionally shares one per-stage artifact cache
+    across the sweep's cases (per worker process in parallel mode), so
+    repeated identical (diagram, platform, config) cases skip whole stages.
+
+    Argument validation is mode-based, not size-based: ``keep_results`` /
+    ``cache`` are rejected for ``max_workers > 1`` even when the grid has a
+    single case, so a sweep cannot change contract as it is scaled down.
     """
     if cases is None:
         if diagrams is None or platforms is None or configs is None:
@@ -293,7 +327,7 @@ def sweep(
         case_list = list(cases)
     if max_workers < 1:
         raise ValueError(f"max_workers must be at least 1, got {max_workers}")
-    if max_workers > 1 and len(case_list) > 1:
+    if max_workers > 1:
         if keep_results:
             raise ValueError(
                 "keep_results=True requires an in-process sweep (max_workers=1): "
@@ -309,8 +343,16 @@ def sweep(
     if max_workers == 1 or len(case_list) <= 1:
         if cache is None:
             cache = WcetAnalysisCache.open(cache_dir) if cache_dir else shared_cache()
+        elif cache_dir and cache.cache_dir != Path(cache_dir):
+            # an explicit cache with a cache_dir: attach it, so the warm
+            # entries are visible and the trailing flush is not a no-op
+            # (skipped when already attached -- re-merging every shard on
+            # every sweep call would re-parse large directories for nothing)
+            cache.load(cache_dir)
+        stage_cache_obj = StageArtifactCache() if stage_cache else None
         outcomes = [
-            _execute_case(index, case, cache) for index, case in enumerate(case_list)
+            _execute_case(index, case, cache, stage_cache_obj)
+            for index, case in enumerate(case_list)
         ]
         if cache_dir:
             cache.flush()
@@ -320,7 +362,10 @@ def sweep(
         effective_workers = 1
     else:
         effective_workers = min(max_workers, len(case_list))
-        jobs = [(index, case, cache_dir) for index, case in enumerate(case_list)]
+        jobs = [
+            (index, case, cache_dir, stage_cache)
+            for index, case in enumerate(case_list)
+        ]
         with ProcessPoolExecutor(max_workers=effective_workers) as pool:
             outcomes = list(pool.map(_worker_run_case, jobs))
     return SweepResult(

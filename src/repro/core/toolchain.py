@@ -32,6 +32,7 @@ from repro.core.pipeline import (
     PipelineContext,
     PipelineError,
     PipelineResult,
+    StageArtifactCache,
 )
 from repro.frontend import CompiledModel
 from repro.htg import HierarchicalTaskGraph
@@ -60,6 +61,7 @@ class ArgoToolchain:
         platform: Platform,
         config: ToolchainConfig | None = None,
         wcet_cache: WcetAnalysisCache | None = None,
+        stage_cache: "StageArtifactCache | None" = None,
     ) -> None:
         self.platform = platform
         self.config = config or ToolchainConfig()
@@ -70,8 +72,12 @@ class ArgoToolchain:
         #: cache, which is disk-backed when ``REPRO_WCET_CACHE_DIR`` is set.
         self.wcet_cache = wcet_cache if wcet_cache is not None else shared_cache()
         #: The underlying stage graph; raises ToolchainError for platforms
-        #: violating the predictability guidelines.
-        self.pipeline = Pipeline(platform, self.config, self.wcet_cache)
+        #: violating the predictability guidelines.  ``stage_cache`` (or the
+        #: ``config.stage_cache`` knob) opts the chain into per-stage
+        #: artifact reuse across runs.
+        self.pipeline = Pipeline(
+            platform, self.config, self.wcet_cache, stage_cache=stage_cache
+        )
 
     # ------------------------------------------------------------------ #
     # piecewise drivers: each delegates to the pipeline's actual stage, so

@@ -41,6 +41,31 @@ rebuilds.  Only two situations require explicit action from callers:
   supported style is to build fresh objects instead, which needs no
   invalidation at all.
 
+System-level / result tiers
+---------------------------
+The same contract extends to the **system-level result tier**
+(:class:`~repro.wcet.cache.SystemResultCache`, reached through
+``cache.system_results`` and consulted by
+:func:`~repro.wcet.system_level.system_level_wcet`): result keys embed the
+function/region fingerprints, the mapping and per-core order, the per-core
+cost signatures, the shared-access penalty tables, the priced worst-case
+edge delays and the fixed-point knobs (``max_iterations``, core count), so
+entries can never go stale and need no invalidation either.  The two
+caller-cooperation rules above apply unchanged (the fingerprints and cost
+signatures are the same memos); additionally:
+
+* ``mhp_backend`` is **not** part of a result key -- the scalar and
+  vectorised MHP passes are bit-for-bit identical, so their results are
+  interchangeable.  Code that must *re-run* the fixed point (differential
+  tests, backend timing) passes ``result_cache=False``.
+* The pipeline's per-stage artifact cache
+  (:class:`repro.core.pipeline.StageArtifactCache`) follows the same rule:
+  a stage may only be cached under a key that covers the *content* of every
+  input (IR fingerprints, HTG structure,
+  :func:`~repro.wcet.cache.platform_signature`, the full config); stages
+  whose inputs cannot be fingerprinted must return ``None`` and stay
+  uncached.
+
 On-disk format and versioning
 -----------------------------
 A disk-backed cache (``WcetAnalysisCache.open(dir)`` /
@@ -65,20 +90,36 @@ subdirectory ``<dir>/v<CACHE_SCHEMA_VERSION>/``:
   :func:`~repro.wcet.cache.read_cache_dir_stats` aggregates all
   ``stats*.jsonl`` files across processes (``benchmarks/run_all.py
   --cache-dir`` reports them in its ``BENCH_*.json`` records).
+* the system-level tier persists ``sys-entries-*.jsonl`` /
+  ``sys-stats-*.jsonl`` shards to the *same* version directory under the
+  same atomicity rules; one entry is a whole serialized
+  :class:`~repro.wcet.cache.SystemResultCache` record (the fixed-point
+  outcome), and its stats ``misses`` count the fixed points actually run.
+
+**Eviction:** shared directories are bounded, not pruned by staleness
+(nothing ever goes stale): :meth:`~repro.wcet.cache.WcetAnalysisCache.evict`
+-- exposed as ``python -m repro cache evict`` and
+``benchmarks/run_all.py --cache-evict-*`` -- compacts the current schema
+version's shards down to entry-count / byte / age bounds, keeping entries
+used by the running process first.  Other schema versions are never
+touched.
 
 **Versioning rule:** bump
 :data:`~repro.wcet.cache.CACHE_SCHEMA_VERSION` whenever the *meaning* of a
 cached number can change -- the code-level cost semantics, the C-printer
-rendering behind the fingerprints, the cost-signature composition, or the
-``WcetBreakdown`` fields.  Old versions are simply ignored (each lives in
-its own ``v<N>`` directory); never reinterpret them in place.
+rendering behind the fingerprints, the cost-signature composition, the
+``WcetBreakdown`` fields, or the system-level result record.  Old versions
+are simply ignored (each lives in its own ``v<N>`` directory); never
+reinterpret them in place.
 """
 
 from repro.wcet.hardware_model import HardwareCostModel
 from repro.wcet.cache import (
     CACHE_SCHEMA_VERSION,
     CacheStats,
+    SystemResultCache,
     WcetAnalysisCache,
+    platform_signature,
     read_cache_dir_stats,
     reset_shared_cache,
     shared_cache,
@@ -95,7 +136,9 @@ __all__ = [
     "HardwareCostModel",
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
+    "SystemResultCache",
     "WcetAnalysisCache",
+    "platform_signature",
     "read_cache_dir_stats",
     "reset_shared_cache",
     "shared_cache",

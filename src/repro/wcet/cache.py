@@ -1,4 +1,15 @@
-"""Memoized code-level WCET analysis shared across the whole flow.
+"""Content-addressed result caching shared across the whole flow.
+
+This module is the flow's **two-tier result cache**:
+
+* the *code-level* tier (:class:`WcetAnalysisCache`) memoizes isolated task /
+  region WCET analyses, and
+* the *system-level* tier (:class:`SystemResultCache`, reachable as
+  ``cache.system_results``) memoizes entire
+  :class:`~repro.wcet.system_level.SystemWcetResult` objects -- the outcome
+  of the contention-aware fixed point -- for repeated identical
+  (mapped tasks, mapping, platform, config) combinations, so a warm sweep
+  over a previously analysed design point skips the fixed point entirely.
 
 Every layer of the ARGO flow re-derives the same isolated task WCETs: the
 list scheduler analyses each (task, candidate core) pair during placement,
@@ -9,7 +20,7 @@ each distinct analysis is performed exactly once per process -- and, when the
 cache is disk-backed, exactly once across *all* processes sharing one cache
 directory.
 
-Cache keys are **content addressed**: an entry is keyed by
+Code-level cache keys are **content addressed**: an entry is keyed by
 
 * the fingerprint of the enclosing function (declarations with their storage
   classes plus the whole body, rendered through the C printer),
@@ -30,6 +41,26 @@ platform, identical-type cores of a heterogeneous platform (even when their
 
 Because entries are content addressed they can never go stale: changing the
 IR or analysing a different platform simply produces different keys.
+
+System-level result tier
+------------------------
+:class:`SystemResultCache` keys a full system-level analysis on
+
+* the fingerprints of the function and of every mapped task's statement
+  region (the same fingerprints the code-level tier uses),
+* the mapping and the per-core ordering,
+* the platform's *contention signature*: the per-core cost signatures, each
+  used core's shared-access penalty table for every possible contender
+  count, and the worst-case priced delay of every edge between mapped
+  tasks (which captures the interconnect/NoC transfer model), and
+* the knobs that steer the fixed point itself (``max_iterations``,
+  the number of cores).
+
+``mhp_backend`` is deliberately **not** part of the key: the scalar and
+vectorised MHP passes are bit-for-bit identical, so their results are
+interchangeable.  Callers that specifically want to re-run the fixed point
+(differential tests, backend benchmarks) pass ``result_cache=False`` to
+:func:`~repro.wcet.system_level.system_level_wcet`.
 
 Disk persistence
 ----------------
@@ -54,10 +85,27 @@ version-stamped subdirectory, ``<cache_dir>/v<CACHE_SCHEMA_VERSION>/``:
   ``benchmarks/run_all.py`` can report cache effectiveness across
   subprocesses.
 
+The system-level tier persists to the same version directory through its own
+``sys-entries-*.jsonl`` / ``sys-stats-*.jsonl`` shards, following exactly the
+same atomic-rewrite and merge-on-load rules; :meth:`WcetAnalysisCache.load`,
+:meth:`~WcetAnalysisCache.flush` and :meth:`~WcetAnalysisCache.clear` always
+cover both tiers.
+
 :meth:`flush` persists every entry not yet on disk and is cheap when there
 is nothing new.  Other schema versions in the same directory are ignored, so
 bumping :data:`CACHE_SCHEMA_VERSION` (see the invalidation contract in
 :mod:`repro.wcet`) invalidates old on-disk entries without deleting them.
+
+Eviction
+--------
+Content addressing means entries never go *stale*, but shared directories do
+grow without bound.  :meth:`WcetAnalysisCache.evict` bounds the current
+schema version's shards by entry count, serialized bytes and/or shard age:
+entries used in this process rank highest (they are never age-evicted),
+everything else ranks newest-shard-first, and the survivors are compacted
+into this instance's own shards.  Other schema versions are never touched.
+``python -m repro cache evict`` and ``benchmarks/run_all.py --cache-evict``
+expose the policy for shared cache directories.
 
 :func:`shared_cache` returns the process-wide cache every toolchain,
 scheduler and mapper uses by default.  When the ``REPRO_WCET_CACHE_DIR``
@@ -91,22 +139,31 @@ unchanged IR hits the cache, changed IR misses it.
 from __future__ import annotations
 
 import atexit
+import dataclasses
+import enum
 import hashlib
 import json
 import os
 import tempfile
+import time
 import uuid
 import weakref
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
 
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task
 from repro.ir.printer import function_to_c, to_c
 from repro.ir.program import Function
 from repro.ir.statements import Block
+from repro.utils.intervals import Interval
 from repro.wcet.code_level import WcetBreakdown, statement_wcet
 from repro.wcet.hardware_model import HardwareCostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adl.architecture import Platform
+    from repro.wcet.system_level import SystemWcetResult
 
 #: Version of the on-disk entry format *and* of the cost-model semantics the
 #: cached numbers were produced under.  Bump it whenever the code-level
@@ -124,11 +181,14 @@ _ENTRY_FIELDS = ("total", "compute", "memory", "control", "shared_accesses")
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`WcetAnalysisCache`.
+    """Hit/miss counters of one cache tier.
 
-    ``hits`` counts lookups served by entries computed in this process,
-    ``disk_hits`` lookups served by entries loaded from a cache directory,
-    and ``misses`` actual code-level re-analyses.
+    ``misses`` counts actual re-analyses.  ``disk_hits`` counts the *first*
+    lookup of each entry that came from a cache directory -- i.e. the number
+    of distinct analyses this process avoided thanks to the disk; every
+    repeat lookup of the same entry is an ordinary in-process ``hit``
+    (regardless of where the entry originally came from), so hot entries
+    cannot inflate the disk-hit rate.
     """
 
     hits: int = 0
@@ -154,8 +214,88 @@ def _digest(text: str) -> str:
     return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
 
+# ---------------------------------------------------------------------- #
+# shard-file primitives shared by both cache tiers
+# ---------------------------------------------------------------------- #
+def _iter_shard_lines(path: Path) -> Iterator[tuple[str, str, dict]]:
+    """Yield ``(key, raw line, parsed record)`` for every well-formed line.
+
+    Torn lines and foreign content are skipped, never raised -- the shard
+    files are a cache, not a database.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:  # pragma: no cover - racing deletion is fine
+        return
+    for line in text.splitlines():
+        try:
+            record = json.loads(line)
+            key = record["key"]
+        except (ValueError, KeyError, TypeError):
+            continue
+        if not isinstance(key, str):
+            continue
+        yield key, line, record
+
+
+def _replace_shard(vdir: Path, final_path: Path, lines: list[str]) -> None:
+    """Atomically rewrite one shard file (tempfile + ``os.replace``)."""
+    fd, tmp_name = tempfile.mkstemp(dir=vdir, prefix=".shard-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        os.replace(tmp_name, final_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+
+
+class _ShardBackedTier:
+    """Shared shard-file plumbing of the two cache tiers.
+
+    Expects the concrete tier to provide ``_cache_dir`` (``Path | None``),
+    ``_shard_token`` (``str``), ``_entries`` / ``_loaded`` / ``_persisted``
+    and ``_own_lines`` attributes following the semantics documented on
+    :class:`WcetAnalysisCache`.
+    """
+
+    _cache_dir: Path | None
+    _shard_token: str
+
+    def _version_dir(self) -> Path:
+        assert self._cache_dir is not None
+        return self._cache_dir / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _shard_path(self, vdir: Path, kind: str) -> Path:
+        # The pid is resolved at write time, not at construction: a cache
+        # instance inherited through fork() then gets its own shard file in
+        # the child process instead of racing the parent for one.
+        return vdir / f"{kind}-{os.getpid()}-{self._shard_token}.jsonl"
+
+    def _hot_keys(self) -> set[str]:
+        """Keys used in this process (computed, or looked up at least once)."""
+        return set(self._entries) - self._loaded
+
+    def _rewrite_disk_entries(self, vdir: Path, kind: str, kept: dict[str, str]) -> None:
+        """Compact this tier's on-disk shards down to ``kept`` (key -> line)."""
+        own = self._shard_path(vdir, kind)
+        for path in vdir.glob(f"{kind}*.jsonl"):
+            if path != own:
+                path.unlink(missing_ok=True)
+        if kept:
+            _replace_shard(vdir, own, list(kept.values()))
+        else:
+            own.unlink(missing_ok=True)
+        self._persisted = set(kept)
+        self._loaded &= set(kept)
+        self._own_lines = dict(kept)
+
+
 @dataclass
-class WcetAnalysisCache:
+class WcetAnalysisCache(_ShardBackedTier):
     """Shared memo of code-level WCET analyses (see module docstring)."""
 
     stats: CacheStats = field(default_factory=CacheStats)
@@ -173,9 +313,11 @@ class WcetAnalysisCache:
     _loaded: set[str] = field(default_factory=set, repr=False)
     #: keys already present in any on-disk shard (loaded or flushed)
     _persisted: set[str] = field(default_factory=set, repr=False)
-    #: full content of this instance's own shard file (survives clear();
-    #: rewritten wholesale on every flush so the replace is atomic)
-    _own_entries: dict[str, WcetBreakdown] = field(default_factory=dict, repr=False)
+    #: serialized content of this instance's own shard file (survives
+    #: clear(); rewritten wholesale on every flush so the replace is atomic)
+    _own_lines: dict[str, str] = field(default_factory=dict, repr=False)
+    #: lazily created system-level result tier (see :attr:`system_results`)
+    _system: "SystemResultCache | None" = field(default=None, repr=False)
     #: per-instance token making the shard file name unique even when two
     #: caches in one process share a directory
     _shard_token: str = field(default_factory=lambda: uuid.uuid4().hex[:8], repr=False)
@@ -226,6 +368,18 @@ class WcetAnalysisCache:
         with repeated core types, and disk-backed sharing, work.
         """
         return self._model_signature(model)[0]
+
+    def function_fingerprint(self, function: Function) -> str:
+        """Memoized content fingerprint of a whole function (public API)."""
+        return self._function_fingerprint(function)
+
+    def region_fingerprint(self, region: Block) -> str:
+        """Memoized content fingerprint of one statement region (public API)."""
+        return self._region_fingerprint(region)
+
+    def model_signature_digest(self, model: HardwareCostModel) -> str:
+        """Digest of :meth:`model_signature` (what entry keys embed)."""
+        return self._model_signature(model)[1]
 
     def _model_signature(self, model: HardwareCostModel) -> tuple[tuple, str]:
         cached = self._model_sigs.get(id(model))
@@ -285,6 +439,9 @@ class WcetAnalysisCache:
             entry = statement_wcet(region, function, model, average)
             self._entries[key] = entry
         elif key in self._loaded:
+            # only the *first* use of a loaded entry is a disk hit; repeat
+            # lookups are in-process hits (see the CacheStats docstring)
+            self._loaded.discard(key)
             self.stats.disk_hits += 1
         else:
             self.stats.hits += 1
@@ -339,16 +496,6 @@ class WcetAnalysisCache:
         """The backing directory, or ``None`` for a memory-only cache."""
         return self._cache_dir
 
-    def _version_dir(self) -> Path:
-        assert self._cache_dir is not None
-        return self._cache_dir / f"v{CACHE_SCHEMA_VERSION}"
-
-    def _shard_path(self, vdir: Path, kind: str) -> Path:
-        # The pid is resolved at write time, not at construction: a cache
-        # instance inherited through fork() then gets its own shard file in
-        # the child process instead of racing the parent for one.
-        return vdir / f"{kind}-{os.getpid()}-{self._shard_token}.jsonl"
-
     def load(self, cache_dir: str | Path) -> int:
         """Attach the cache to ``cache_dir`` and pull in its entries.
 
@@ -365,16 +512,14 @@ class WcetAnalysisCache:
         if self._cache_dir is not None and cache_dir != self._cache_dir:
             self._persisted.clear()
             self._loaded.clear()
-            self._own_entries.clear()
+            self._own_lines.clear()
         self._cache_dir = cache_dir
         vdir = self._version_dir()
         vdir.mkdir(parents=True, exist_ok=True)
         loaded = 0
         for entries_path in sorted(vdir.glob("entries*.jsonl")):
-            for line in entries_path.read_text(encoding="utf-8").splitlines():
+            for key, _line, record in _iter_shard_lines(entries_path):
                 try:
-                    record = json.loads(line)
-                    key = record["key"]
                     entry = WcetBreakdown(
                         total=float(record["total"]),
                         compute=float(record["compute"]),
@@ -389,6 +534,8 @@ class WcetAnalysisCache:
                     self._entries[key] = entry
                     self._loaded.add(key)
                     loaded += 1
+        if self._system is not None:
+            self._system.load(cache_dir)
         return loaded
 
     def flush(self) -> int:
@@ -401,37 +548,35 @@ class WcetAnalysisCache:
         own different shards) cannot interleave.  Also appends one hit/miss
         delta record to this instance's stats shard so cache effectiveness
         can be aggregated across processes by :func:`read_cache_dir_stats`.
+
+        The system-level result tier (when it has been used) is flushed
+        along; the return value counts *code-level* entries only.
         """
+        if self._system is not None:
+            self._system.flush()
         if self._cache_dir is None:
             return 0
         fresh = {
             key: entry for key, entry in self._entries.items() if key not in self._persisted
         }
         snapshot = (self.stats.hits, self.stats.disk_hits, self.stats.misses)
-        if not fresh and snapshot == self._flushed_stats:
+        # self-heal: a concurrent evict() in another process deletes every
+        # shard it does not own, including this live instance's -- restore
+        # our own flushed entries rather than silently losing them
+        clobbered = bool(self._own_lines) and not self._shard_path(
+            self._version_dir(), "entries"
+        ).exists()
+        if not fresh and not clobbered and snapshot == self._flushed_stats:
             return 0  # nothing to record: do not even touch the directory
         vdir = self._version_dir()
         vdir.mkdir(parents=True, exist_ok=True)
-        if fresh:
-            self._own_entries.update(fresh)
-            lines = [
-                json.dumps(
+        if fresh or clobbered:
+            for key, entry in fresh.items():
+                self._own_lines[key] = json.dumps(
                     {"key": key, **{f: getattr(entry, f) for f in _ENTRY_FIELDS}},
                     separators=(",", ":"),
                 )
-                for key, entry in self._own_entries.items()
-            ]
-            fd, tmp_name = tempfile.mkstemp(dir=vdir, prefix=".entries-", suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write("\n".join(lines) + "\n")
-                os.replace(tmp_name, self._shard_path(vdir, "entries"))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
-                raise
+            _replace_shard(vdir, self._shard_path(vdir, "entries"), list(self._own_lines.values()))
             self._persisted.update(fresh)
         delta = tuple(now - then for now, then in zip(snapshot, self._flushed_stats))
         if fresh or any(delta):
@@ -447,6 +592,147 @@ class WcetAnalysisCache:
                 fh.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._flushed_stats = snapshot
         return len(fresh)
+
+    # ------------------------------------------------------------------ #
+    # the system-level result tier
+    # ------------------------------------------------------------------ #
+    @property
+    def system_results(self) -> "SystemResultCache":
+        """The system-level tier of this cache (created on first use).
+
+        Shares this instance's fingerprint memos (so keys are cheap to
+        derive) and its backing directory: when the cache is disk-backed the
+        tier is loaded from the same version directory, and
+        :meth:`flush` / :meth:`clear` / :meth:`evict` cover it.
+        """
+        if self._system is None:
+            self._system = SystemResultCache(fingerprints=self)
+            if self._cache_dir is not None:
+                self._system.load(self._cache_dir)
+        return self._system
+
+    # ------------------------------------------------------------------ #
+    # eviction
+    # ------------------------------------------------------------------ #
+    def evict(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+    ) -> dict:
+        """Bound the attached cache directory (current schema version only).
+
+        Ranks every on-disk entry of *both* tiers -- code-level analyses and
+        system-level results -- and drops the lowest-ranked ones until the
+        configured bounds hold:
+
+        * entries used in this process since :meth:`load` rank highest and
+          are exempt from ``max_age_seconds``, so eviction can never throw
+          away an entry that was just used;
+        * all other entries rank by the mtime of the shard holding them,
+          newest first; ``max_age_seconds`` drops those whose shard is older;
+        * ``max_entries`` bounds the total entry count across both tiers and
+          ``max_bytes`` the total serialized entry bytes.
+
+        In-memory entries are untouched (an entry evicted from disk but
+        still in memory simply becomes flushable again).  Survivors are
+        compacted into this instance's own shard files and every other entry
+        shard of the *current* schema version is deleted; other schema
+        versions are never touched (they are invalidated by the versioning
+        rule, not by this policy).  Stats shards are only pruned by
+        ``max_age_seconds``.  Pending entries are flushed first, so calling
+        this at the end of a run cannot lose fresh results.  Evicting while
+        *other* processes are mid-run is safe but best-effort: a live
+        writer whose shard was deleted restores its own flushed entries on
+        its next :meth:`flush` (so nothing a running process produced is
+        ever lost), which may push the directory back over the bound until
+        the next eviction.  Returns a report dict with kept/evicted counts
+        per tier.
+        """
+        if self._cache_dir is None:
+            raise ValueError("evict() requires a disk-backed cache; call load() first")
+        self.flush()
+        system = self.system_results
+        vdir = self._version_dir()
+        if not vdir.is_dir():  # nothing was ever flushed
+            return {"kept": 0, "evicted": 0, "kept_bytes": 0, "tiers": {}}
+        now = time.time()
+        #: rank order at equal age: one system-level result replaces an
+        #: entire fixed point, so the system tier must never be starved by
+        #: the (far more numerous, individually cheaper) code entries that
+        #: the same flush wrote moments later
+        tiers: dict[str, tuple] = {
+            "system": (system, "sys-entries"),
+            "code": (self, "entries"),
+        }
+        tier_rank = {name: rank for rank, name in enumerate(tiers)}
+        candidates: list[tuple[bool, float, str, str, str]] = []
+        for tier_name, (tier, kind) in tiers.items():
+            hot = tier._hot_keys()
+            per_key: dict[str, tuple[float, str]] = {}
+            shard_mtimes: dict[Path, float] = {}
+            for path in vdir.glob(f"{kind}*.jsonl"):
+                try:
+                    shard_mtimes[path] = path.stat().st_mtime
+                except OSError:  # racing a concurrent evict/flush: skip
+                    continue
+            # oldest first, so the newest shard wins duplicate keys
+            for path, mtime in sorted(shard_mtimes.items(), key=lambda kv: kv[1]):
+                for key, line, _record in _iter_shard_lines(path):
+                    per_key[key] = (mtime, line)
+            for key, (mtime, line) in per_key.items():
+                is_hot = key in hot
+                candidates.append((is_hot, now if is_hot else mtime, tier_name, key, line))
+        # hot entries first, then newest at whole-second granularity (both
+        # tiers of one flush land in the same bucket, where the system tier
+        # ranks first); ties broken by key for determinism
+        candidates.sort(
+            key=lambda c: (not c[0], -int(c[1]), tier_rank[c[2]], c[3])
+        )
+        kept: dict[str, dict[str, str]] = {name: {} for name in tiers}
+        kept_count = 0
+        kept_bytes = 0
+        evicted = 0
+        budget_full = False
+        for is_hot, mtime, tier_name, key, line in candidates:
+            size = len(line.encode("utf-8")) + 1  # newline included
+            if max_age_seconds is not None and not is_hot and now - mtime > max_age_seconds:
+                evicted += 1
+                continue
+            if max_entries is not None and kept_count >= max_entries:
+                evicted += 1
+                continue
+            if budget_full or (max_bytes is not None and kept_bytes + size > max_bytes):
+                # rank-monotonic cutoff: once the byte budget refuses an
+                # entry, nothing ranked lower may be kept either -- packing
+                # smaller cold entries around a dropped hot one would break
+                # the "just-used entries survive first" guarantee
+                budget_full = True
+                evicted += 1
+                continue
+            kept[tier_name][key] = line
+            kept_count += 1
+            kept_bytes += size
+        for tier_name, (tier, kind) in tiers.items():
+            tier._rewrite_disk_entries(vdir, kind, kept[tier_name])
+        stats_shards_removed = 0
+        if max_age_seconds is not None:
+            for kind in ("stats", "sys-stats"):
+                for path in vdir.glob(f"{kind}*.jsonl"):
+                    try:
+                        aged = now - path.stat().st_mtime > max_age_seconds
+                    except OSError:  # pragma: no cover - racing deletion
+                        continue
+                    if aged:
+                        path.unlink(missing_ok=True)
+                        stats_shards_removed += 1
+        return {
+            "kept": kept_count,
+            "evicted": evicted,
+            "kept_bytes": kept_bytes,
+            "stats_shards_removed": stats_shards_removed,
+            "tiers": {name: len(kept[name]) for name in tiers},
+        }
 
     # ------------------------------------------------------------------ #
     def invalidate_function(self, function: Function) -> None:
@@ -475,6 +761,8 @@ class WcetAnalysisCache:
         self._model_sigs.clear()
         self._pins.clear()
         self._loaded.clear()
+        if self._system is not None:
+            self._system.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -484,37 +772,413 @@ class WcetAnalysisCache:
         return True
 
 
+# ---------------------------------------------------------------------- #
+# the system-level result tier
+# ---------------------------------------------------------------------- #
+class SystemResultCache(_ShardBackedTier):
+    """Content-addressed memo of whole system-level analysis results.
+
+    The second tier of the flow's result cache (see the module docstring):
+    one entry is a complete :class:`~repro.wcet.system_level.SystemWcetResult`
+    keyed by everything the fixed point can observe -- the function and
+    per-task region fingerprints, the mapping, the per-core ordering, the
+    per-core cost signatures and shared-access penalty tables, the priced
+    worst-case delay of every edge between mapped tasks, the core count and
+    ``max_iterations``.  Identical design points therefore share entries
+    across schedulers, processes and (when disk-backed) machines, and a warm
+    lookup skips the fixed point *and* the per-task code-level analyses.
+
+    The in-memory side is a bounded LRU (``max_memory_entries``): mapper
+    metaheuristics evaluate thousands of distinct mappings, and keeping all
+    of their full results alive would trade one scaling problem for another.
+    Disk persistence follows the exact shard scheme of the code-level tier,
+    under ``sys-entries*.jsonl`` / ``sys-stats*.jsonl`` in the same
+    version-stamped directory.
+
+    Instances are usually reached through
+    :attr:`WcetAnalysisCache.system_results`, which shares the code-level
+    tier's fingerprint memos and backing directory.
+    """
+
+    def __init__(
+        self,
+        fingerprints: WcetAnalysisCache | None = None,
+        max_memory_entries: int | None = 2048,
+    ) -> None:
+        self.stats = CacheStats()
+        self.max_memory_entries = max_memory_entries
+        #: fingerprint/memo provider (identity memos shared with the owning
+        #: code-level tier so keys are cheap to derive)
+        self._fingerprints = fingerprints if fingerprints is not None else WcetAnalysisCache()
+        #: content key -> serializable record (insertion order = LRU order)
+        self._entries: dict[str, dict] = {}
+        self._loaded: set[str] = set()
+        self._persisted: set[str] = set()
+        self._own_lines: dict[str, str] = {}
+        self._shard_token = uuid.uuid4().hex[:8]
+        self._flushed_stats: tuple[int, int, int] = (0, 0, 0)
+        self._cache_dir: Path | None = None
+
+    # ------------------------------------------------------------------ #
+    # content addressing
+    # ------------------------------------------------------------------ #
+    def result_key(
+        self,
+        htg: HierarchicalTaskGraph,
+        function: Function,
+        platform: "Platform",
+        mapping: dict[str, int],
+        order: dict[int, list[str]],
+        storage_override=None,
+        max_iterations: int = 25,
+        models: dict[int, HardwareCostModel] | None = None,
+        comm_delay=None,
+    ) -> str:
+        """The stable content key of one system-level analysis.
+
+        ``models`` may pass in the per-core :class:`HardwareCostModel`
+        objects the caller already built (so their cost signatures are
+        memoized once) and ``comm_delay`` the caller's
+        :func:`~repro.wcet.system_level.make_edge_latency` closure (so each
+        edge is priced once, not once for the key and once for the
+        analysis); both are constructed on the fly when absent.
+        """
+        storage_override = dict(storage_override or {})
+        fp = self._fingerprints
+        leaf_ids = [t.task_id for t in htg.leaf_tasks()]
+        used_cores = sorted({mapping[tid] for tid in leaf_ids if tid in mapping})
+        models = dict(models or {})
+        for core_id in used_cores:
+            if core_id not in models:
+                models[core_id] = HardwareCostModel(platform, core_id, storage_override)
+        num_cores = platform.num_cores
+        comm_contenders = max(0, num_cores - 1)
+        if comm_delay is None:
+            from repro.wcet.system_level import make_edge_latency
+
+            comm_delay = make_edge_latency(htg, platform, mapping, comm_contenders)
+        tasks = [
+            (
+                tid,
+                fp.region_fingerprint(htg.task(tid).statements),
+                mapping.get(tid, -1),
+            )
+            for tid in sorted(leaf_ids)
+        ]
+        edges = sorted(
+            (
+                e.src,
+                e.dst,
+                0.0 if mapping[e.src] == mapping[e.dst] else comm_delay(e.src, e.dst),
+            )
+            for e in htg.edges
+            if e.src in mapping and e.dst in mapping
+        )
+        payload = {
+            "function": fp.function_fingerprint(function),
+            "tasks": tasks,
+            "order": sorted((core, list(tids)) for core, tids in order.items()),
+            "models": [
+                (
+                    core_id,
+                    fp.model_signature_digest(models[core_id]),
+                    [models[core_id].shared_access_penalty(k) for k in range(num_cores)],
+                )
+                for core_id in used_cores
+            ],
+            "edges": edges,
+            "num_cores": num_cores,
+            "max_iterations": max_iterations,
+        }
+        return _digest(json.dumps(payload, separators=(",", ":"), sort_keys=True))
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _record_of(result: "SystemWcetResult") -> dict:
+        return {
+            "makespan": result.makespan,
+            "iterations": result.iterations,
+            "converged": bool(result.converged),
+            "interference": result.interference_cycles,
+            "communication": result.communication_cycles,
+            "tasks": {
+                tid: [
+                    interval.start,
+                    interval.end,
+                    result.task_effective_wcet[tid],
+                    result.task_contenders[tid],
+                ]
+                for tid, interval in result.task_intervals.items()
+            },
+            # kept separately: the mapping may cover tasks beyond the
+            # analysed timeline, and round-trips must be exact
+            "cores": dict(result.task_cores),
+        }
+
+    @staticmethod
+    def _result_of(record: dict) -> "SystemWcetResult":
+        from repro.wcet.system_level import SystemWcetResult
+
+        # coerce explicitly: _valid_record only checks *convertibility*, so
+        # a foreign shard carrying numeric strings must still rebuild into a
+        # result with real numbers (float(float) is the identity, so records
+        # this module wrote round-trip bit-exactly)
+        tasks = record["tasks"]
+        return SystemWcetResult(
+            makespan=float(record["makespan"]),
+            task_intervals={
+                tid: Interval(float(row[0]), float(row[1])) for tid, row in tasks.items()
+            },
+            task_cores={tid: int(core) for tid, core in record["cores"].items()},
+            task_effective_wcet={tid: float(row[2]) for tid, row in tasks.items()},
+            task_contenders={tid: int(row[3]) for tid, row in tasks.items()},
+            interference_cycles=float(record["interference"]),
+            communication_cycles=float(record["communication"]),
+            iterations=int(record["iterations"]),
+            converged=bool(record["converged"]),
+        )
+
+    @staticmethod
+    def _valid_record(record: dict) -> bool:
+        try:
+            tasks = record["tasks"]
+            cores = record["cores"]
+            if not isinstance(tasks, dict) or not isinstance(cores, dict):
+                return False
+            for row in tasks.values():
+                if len(row) != 4:
+                    return False
+                float(row[0]), float(row[1]), float(row[2]), int(row[3])
+            for core in cores.values():
+                int(core)
+            float(record["makespan"])
+            float(record["interference"])
+            float(record["communication"])
+            int(record["iterations"])
+            return isinstance(record["converged"], bool)
+        except (KeyError, TypeError, ValueError):
+            return False
+
+    def get(self, key: str) -> "SystemWcetResult | None":
+        """The cached result under ``key`` (a fresh object), or ``None``.
+
+        A ``None`` return counts as a miss -- the caller is expected to run
+        the analysis and :meth:`put` the outcome.
+        """
+        record = self._entries.get(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        if key in self._loaded:
+            self._loaded.discard(key)
+            self.stats.disk_hits += 1
+        else:
+            self.stats.hits += 1
+        # LRU touch: re-insertion moves the key to the newest position
+        del self._entries[key]
+        self._entries[key] = record
+        return self._result_of(record)
+
+    def put(self, key: str, result: "SystemWcetResult") -> None:
+        """Memoize ``result`` under ``key`` (oldest entries drop past the LRU bound)."""
+        self._entries.pop(key, None)
+        self._entries[key] = self._record_of(result)
+        if self.max_memory_entries is not None:
+            while len(self._entries) > self.max_memory_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self._loaded.discard(oldest)
+
+    # ------------------------------------------------------------------ #
+    # disk persistence (same shard scheme as the code-level tier)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, cache_dir: str | Path) -> "SystemResultCache":
+        """A fresh standalone tier pre-loaded from (and flushing to) ``cache_dir``."""
+        cache = cls()
+        cache.load(cache_dir)
+        return cache
+
+    @property
+    def cache_dir(self) -> Path | None:
+        return self._cache_dir
+
+    def load(self, cache_dir: str | Path) -> int:
+        """Attach to ``cache_dir`` and merge its ``sys-entries*.jsonl`` shards."""
+        cache_dir = Path(cache_dir)
+        if self._cache_dir is not None and cache_dir != self._cache_dir:
+            self._persisted.clear()
+            self._loaded.clear()
+            self._own_lines.clear()
+        self._cache_dir = cache_dir
+        vdir = self._version_dir()
+        vdir.mkdir(parents=True, exist_ok=True)
+        loaded = 0
+        for entries_path in sorted(vdir.glob("sys-entries*.jsonl")):
+            for key, _line, record in _iter_shard_lines(entries_path):
+                record.pop("key", None)
+                if not self._valid_record(record):
+                    continue
+                self._persisted.add(key)
+                if key not in self._entries:
+                    self._entries[key] = record
+                    self._loaded.add(key)
+                    loaded += 1
+        return loaded
+
+    def flush(self) -> int:
+        """Persist every not-yet-persisted result to this instance's shard."""
+        if self._cache_dir is None:
+            return 0
+        fresh = {
+            key: record for key, record in self._entries.items() if key not in self._persisted
+        }
+        snapshot = (self.stats.hits, self.stats.disk_hits, self.stats.misses)
+        # self-heal after a concurrent evict() deleted this shard (see the
+        # code-level tier's flush for the rationale)
+        clobbered = bool(self._own_lines) and not self._shard_path(
+            self._version_dir(), "sys-entries"
+        ).exists()
+        if not fresh and not clobbered and snapshot == self._flushed_stats:
+            return 0
+        vdir = self._version_dir()
+        vdir.mkdir(parents=True, exist_ok=True)
+        if fresh or clobbered:
+            for key, record in fresh.items():
+                self._own_lines[key] = json.dumps(
+                    {"key": key, **record}, separators=(",", ":")
+                )
+            self._persisted.update(fresh)
+            # the own-shard buffer obeys the same bound as the LRU: without
+            # this, every flush of a long-lived driver would accrete more
+            # multi-KB result lines forever and the "bounded in-memory
+            # side" promise would only hold for _entries
+            if self.max_memory_entries is not None:
+                while len(self._own_lines) > self.max_memory_entries:
+                    oldest = next(iter(self._own_lines))
+                    del self._own_lines[oldest]
+                    self._persisted.discard(oldest)
+            _replace_shard(
+                vdir, self._shard_path(vdir, "sys-entries"), list(self._own_lines.values())
+            )
+        delta = tuple(now - then for now, then in zip(snapshot, self._flushed_stats))
+        if fresh or any(delta):
+            record = {
+                "pid": os.getpid(),
+                "hits": delta[0],
+                "disk_hits": delta[1],
+                "misses": delta[2],
+                "flushed": len(fresh),
+            }
+            with self._shard_path(vdir, "sys-stats").open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._flushed_stats = snapshot
+        return len(fresh)
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every in-memory result (stats and on-disk shards are kept)."""
+        self._entries.clear()
+        self._loaded.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _Unfingerprintable(Exception):
+    """A platform component content addressing cannot describe."""
+
+
+def _describe_component(obj):
+    """JSON-able content description of one platform component.
+
+    Every dataclass level records its concrete type name, so a subclass
+    that overrides behaviour while keeping the base fields (a custom
+    processor model, say) can never digest identically to the base.
+    Anything that is neither a dataclass, a plain container nor a scalar is
+    refused -- a ``str()`` fallback would happily bake an address-bearing
+    ``repr`` into the digest and defeat content addressing.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        described = {"__type__": type(obj).__name__}
+        for field_ in dataclasses.fields(obj):
+            described[field_.name] = _describe_component(getattr(obj, field_.name))
+        return described
+    if isinstance(obj, dict):
+        return {str(key): _describe_component(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_describe_component(item) for item in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    raise _Unfingerprintable(type(obj).__name__)
+
+
+def platform_signature(platform: "Platform") -> str | None:
+    """Content digest of everything a platform contributes to flow results.
+
+    Used by the pipeline's per-stage artifact cache to key stage outputs by
+    platform *content* rather than object identity.  The digest covers the
+    full ADL description -- cores (processor timing models, scratchpads,
+    tiles), the shared memory, the interconnect and the optional NoC --
+    including the concrete type of every nested component.  Returns ``None``
+    when any component cannot be introspected (a custom non-dataclass
+    model), in which case callers must treat the platform as uncacheable
+    rather than risk a stale hit.
+    """
+    try:
+        payload = _describe_component(platform)
+    except _Unfingerprintable:
+        return None
+    return _digest(json.dumps(payload, sort_keys=True))
+
+
 def read_cache_dir_stats(cache_dir: str | Path, count_entries: bool = True) -> dict:
     """Aggregate the stats records of a cache directory.
 
     Sums every record of every ``stats*.jsonl`` shard (one record per flush,
     across all processes) and, with ``count_entries``, also counts the
     distinct persisted entries (a full scan of every ``entries*.jsonl``
-    shard -- pass ``False`` when diffing snapshots in a loop).  Returns
-    zeros for a missing or empty directory, so callers can diff
+    shard -- pass ``False`` when diffing snapshots in a loop).  The
+    system-level result tier is aggregated the same way from its
+    ``sys-stats*.jsonl`` / ``sys-entries*.jsonl`` shards into the nested
+    ``"system"`` dict; its ``misses`` count the fixed points actually run.
+    Returns zeros for a missing or empty directory, so callers can diff
     before/after snapshots without special cases.
     """
-    totals = {"hits": 0, "disk_hits": 0, "misses": 0, "flushed": 0, "entries": 0}
+    counter_keys = ("hits", "disk_hits", "misses", "flushed")
+    totals = {key: 0 for key in counter_keys}
+    totals["entries"] = 0
+    totals["system"] = {key: 0 for key in counter_keys}
+    totals["system"]["entries"] = 0
     vdir = Path(cache_dir) / f"v{CACHE_SCHEMA_VERSION}"
     if not vdir.is_dir():
         return totals
-    for stats_path in sorted(vdir.glob("stats*.jsonl")):
-        for line in stats_path.read_text(encoding="utf-8").splitlines():
-            try:
-                record = json.loads(line)
-                for key in ("hits", "disk_hits", "misses", "flushed"):
-                    totals[key] += int(record.get(key, 0))
-            except (ValueError, TypeError):
-                continue
-    if count_entries:
-        keys = set()
-        for entries_path in sorted(vdir.glob("entries*.jsonl")):
-            for line in entries_path.read_text(encoding="utf-8").splitlines():
+
+    def _aggregate(stats_pattern: str, entries_pattern: str, into: dict) -> None:
+        for stats_path in sorted(vdir.glob(stats_pattern)):
+            for line in stats_path.read_text(encoding="utf-8").splitlines():
                 try:
-                    keys.add(json.loads(line)["key"])
-                except (ValueError, KeyError, TypeError):
+                    record = json.loads(line)
+                    for key in counter_keys:
+                        into[key] += int(record.get(key, 0))
+                except (ValueError, TypeError):
                     continue
-        totals["entries"] = len(keys)
+        if count_entries:
+            keys = set()
+            for entries_path in sorted(vdir.glob(entries_pattern)):
+                for key, _line, _record in _iter_shard_lines(entries_path):
+                    keys.add(key)
+            into["entries"] = len(keys)
+
+    _aggregate("stats*.jsonl", "entries*.jsonl", totals)
+    _aggregate("sys-stats*.jsonl", "sys-entries*.jsonl", totals["system"])
     return totals
 
 

@@ -53,7 +53,7 @@ except ModuleNotFoundError:  # pragma: no cover - the container ships numpy
     _np = None
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.wcet.cache import WcetAnalysisCache
+    from repro.wcet.cache import SystemResultCache, WcetAnalysisCache
 
 #: Below this many (task, sharer) pairs the double loop beats the cost of
 #: building numpy arrays; both backends give identical results either way.
@@ -273,15 +273,21 @@ def mhp_contenders_vectorised(
     return {tid: int(counts[i]) for i, tid in enumerate(leaf_ids)}
 
 
+def _validate_mhp_backend(mhp_backend: str) -> None:
+    """Single authority on backend validity (shared by the early check on
+    the cache-hit path and the actual dispatch)."""
+    if mhp_backend not in ("auto", "numpy", "scalar"):
+        raise SystemWcetError(f"unknown mhp_backend {mhp_backend!r}")
+    if mhp_backend == "numpy" and _np is None:
+        raise SystemWcetError("mhp_backend='numpy' requested but numpy is unavailable")
+
+
 def _pick_mhp_pass(mhp_backend: str, num_tasks: int, num_sharers: int):
+    _validate_mhp_backend(mhp_backend)
     if mhp_backend == "scalar":
         return mhp_contenders_scalar
     if mhp_backend == "numpy":
-        if _np is None:
-            raise SystemWcetError("mhp_backend='numpy' requested but numpy is unavailable")
         return mhp_contenders_vectorised
-    if mhp_backend != "auto":
-        raise SystemWcetError(f"unknown mhp_backend {mhp_backend!r}")
     if _np is not None and num_tasks * num_sharers >= _VECTORISE_MIN_PAIRS:
         return mhp_contenders_vectorised
     return mhp_contenders_scalar
@@ -297,6 +303,7 @@ def system_level_wcet(
     max_iterations: int = 25,
     cache: "WcetAnalysisCache | None" = None,
     mhp_backend: str = "auto",
+    result_cache: "SystemResultCache | None | bool" = None,
 ) -> SystemWcetResult:
     """Contention-aware multi-core WCET of a mapped and ordered HTG.
 
@@ -304,7 +311,21 @@ def system_level_wcet(
     (vectorised when numpy is available and the graph is large enough),
     ``"numpy"`` or ``"scalar"``.  The backends are bit-for-bit identical;
     the knob exists for benchmarking and differential testing.
+
+    ``result_cache`` controls the system-level result tier
+    (:class:`~repro.wcet.cache.SystemResultCache`): the default ``None``
+    uses ``cache.system_results`` when a code-level cache is given, so a
+    previously analysed identical design point skips the fixed point (and
+    the per-task code-level analyses) entirely; pass an explicit tier to
+    override, or ``False`` to force a full re-analysis (differential tests
+    and MHP-backend benchmarks want the recomputation, not the memo).
+    ``mhp_backend`` is not part of the result key -- the backends are
+    interchangeable by construction.
     """
+    # validate the backend up front: a warm result-cache hit returns early,
+    # and error behaviour must not depend on the cache state
+    _validate_mhp_backend(mhp_backend)
+
     storage_override = storage_override or {}
     leaf_ids = [t.task_id for t in htg.leaf_tasks()]
     missing = [tid for tid in leaf_ids if tid not in mapping]
@@ -315,6 +336,33 @@ def system_level_wcet(
         core_id: HardwareCostModel(platform, core_id, storage_override)
         for core_id in {mapping[tid] for tid in leaf_ids}
     }
+    num_cores = platform.num_cores
+    comm_contenders = max(0, num_cores - 1)
+    # built before the memo lookup so the key derivation and the analysis
+    # share one memoized edge-pricing table (edges are priced lazily, so a
+    # warm hit pays nothing here)
+    comm_delay = make_edge_latency(htg, platform, mapping, comm_contenders)
+
+    if result_cache is True:  # boolean opt-in == the default derivation
+        result_cache = None
+    if result_cache is None and cache is not None:
+        result_cache = cache.system_results
+    result_key = None
+    if result_cache:
+        result_key = result_cache.result_key(
+            htg,
+            function,
+            platform,
+            mapping,
+            order,
+            storage_override=storage_override,
+            max_iterations=max_iterations,
+            models=models,
+            comm_delay=comm_delay,
+        )
+        memoized = result_cache.get(result_key)
+        if memoized is not None:
+            return memoized
     base_wcet: dict[str, float] = {}
     shared_accesses: dict[str, int] = {}
     for tid in leaf_ids:
@@ -323,10 +371,6 @@ def system_level_wcet(
         breakdown = analyze_task_wcet(task, function, model, cache=cache)
         base_wcet[tid] = breakdown.total
         shared_accesses[tid] = breakdown.shared_accesses
-
-    num_cores = platform.num_cores
-    comm_contenders = max(0, num_cores - 1)
-    comm_delay = make_edge_latency(htg, platform, mapping, comm_contenders)
 
     effective = dict(base_wcet)
     contenders: dict[str, int] = {tid: 0 for tid in leaf_ids}
@@ -375,7 +419,7 @@ def system_level_wcet(
         for e in htg.edges
         if e.src in mapping and e.dst in mapping and mapping[e.src] != mapping[e.dst]
     )
-    return SystemWcetResult(
+    result = SystemWcetResult(
         makespan=makespan,
         task_intervals=intervals,
         task_cores=dict(mapping),
@@ -386,6 +430,9 @@ def system_level_wcet(
         iterations=iterations,
         converged=converged,
     )
+    if result_cache:
+        result_cache.put(result_key, result)
+    return result
 
 
 def contention_oblivious_bound(

@@ -295,6 +295,23 @@ class TestDiskPersistence:
         assert second.stats.misses == 0
         assert second.stats.disk_hits == len(cold)
 
+    def test_repeat_lookups_of_loaded_entries_count_as_hits(self, tmp_path):
+        """Pinned semantics: ``disk_hits`` counts the *first* use of each
+        loaded entry only; every repeat lookup is an in-process ``hit``, so
+        hot entries cannot inflate the disk-hit rate."""
+        first = WcetAnalysisCache.open(tmp_path / "cache")
+        cold = self._analyze_all(first)
+        first.flush()
+        second = WcetAnalysisCache.open(tmp_path / "cache")
+        self._analyze_all(second)
+        assert second.stats.disk_hits == len(cold)
+        assert second.stats.hits == 0
+        # the same lookups again: served from memory, not "from disk"
+        self._analyze_all(second)
+        assert second.stats.disk_hits == len(cold)
+        assert second.stats.hits == len(cold)
+        assert second.stats.misses == 0
+
     def test_entries_live_under_version_dir(self, tmp_path):
         from repro.wcet.cache import CACHE_SCHEMA_VERSION
 
