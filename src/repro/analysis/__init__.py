@@ -1,0 +1,119 @@
+"""Static analyses over the IR, the CFG and scheduled task graphs.
+
+This package is the always-on trust layer of the flow: it verifies the
+inputs the WCET machinery takes on faith (loop bounds, branch feasibility),
+proves schedules race-free before code generation, and lints the IR the
+front-end and the transformation passes produce.  Everything reports
+through the typed :class:`~repro.analysis.report.Finding` /
+:class:`~repro.analysis.report.AnalysisReport` model consumed by
+``python -m repro lint`` and the pipeline gates.
+
+Analysis contract
+=================
+
+**Framework.**  :mod:`repro.analysis.dataflow` solves monotone dataflow
+problems over :class:`repro.ir.cfg.ControlFlowGraph` with a FIFO worklist.
+An analysis declares a direction, a boundary state, a bottom state, a
+``join`` (least upper bound), a per-block ``transfer`` and an optional
+per-edge ``edge_transfer``.  Facts in a :class:`DataflowResult` are keyed
+by block id in *program order*: ``entry[bid]`` holds before the block,
+``exit[bid]`` after, for both directions.
+
+**Lattices and termination.**
+
+* *Reaching definitions* (:mod:`~repro.analysis.reaching_defs`): maps
+  variable names to frozensets of defining statement ids (sentinels:
+  ``-1`` = defined before the function runs, ``-2`` = uninitialised
+  local).  Join is per-variable union.  The lattice is finite (statements
+  are finite), so the fixed point terminates without widening.
+* *Liveness* (:mod:`~repro.analysis.liveness`): backward, frozensets of
+  names, join is union; finite lattice, terminates.
+* *Value ranges* (:mod:`~repro.analysis.value_range`): maps names to
+  closed intervals with infinite endpoints; missing name = top, ``None``
+  environment = unreachable (bottom).  Join is the interval hull (names
+  missing from either side drop to top).  The lattice has infinite
+  ascending chains, so termination comes from jump-to-infinity widening
+  after ``widen_after`` re-entries of a block; the solver additionally
+  caps per-block visits and flags ``converged=False`` if ever hit, and
+  consumers must then discard the states (an unfinished iterate is *not*
+  an over-approximation).
+
+**Soundness caveats.**  Array contents are not tracked (element reads are
+top, element writes update the whole array weakly); the domains are
+non-relational; shared/state variables are top at function entry because
+other cores and earlier activations may have written them; float
+comparisons refine without the one-integer shrink applied to ``int``-typed
+operands; sibling loop chunks of a split loop are assumed to access
+disjoint index slices (the same assumption the HTG builder makes when it
+omits edges between them).  Within those limits every reported fact is an
+over-approximation of the concrete semantics implemented by
+:mod:`repro.ir.interpreter`.
+
+**Flow-fact format** (:class:`repro.wcet.ipet.FlowFacts`): infeasible
+edges are stable CFG edge keys ``(src bid, dst bid, kind)`` pinned to
+``x_e = 0`` in the IPET LP; derived loop bounds map loop-header block ids
+to trip counts merged as ``min(declared, derived)``.  Facts only ever add
+constraints to a maximisation problem, so the tightened bound is provably
+no looser than the plain one.
+
+**Race checking** (:mod:`~repro.analysis.races`): happens-before is the
+transitive closure of HTG dependence edges plus per-core program order;
+every cross-task conflict (write-write or read-write on a declaration in
+``SHARED`` / ``INPUT`` / ``OUTPUT`` storage) must be ordered, else a
+``race.*`` finding is produced before codegen.
+"""
+
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    run_dataflow,
+)
+from repro.analysis.liveness import Liveness, dead_stores, liveness
+from repro.analysis.races import check_races, check_schedule_races
+from repro.analysis.reaching_defs import (
+    DEF_EXTERNAL,
+    DEF_UNINIT,
+    ReachingDefinitions,
+    definitely_uninitialized_uses,
+    reaching_definitions,
+)
+from repro.analysis.report import SEVERITIES, AnalysisReport, Finding
+from repro.analysis.value_range import (
+    ValueRange,
+    ValueRangeAnalysis,
+    assume,
+    eval_range,
+    truth,
+    value_ranges,
+)
+from repro.analysis.verifier import IRVerifierPass, verify_function
+from repro.analysis.wcet_facts import derive_flow_facts, tightened_ipet_wcet
+
+__all__ = [
+    "AnalysisReport",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "DEF_EXTERNAL",
+    "DEF_UNINIT",
+    "Finding",
+    "IRVerifierPass",
+    "Liveness",
+    "ReachingDefinitions",
+    "SEVERITIES",
+    "ValueRange",
+    "ValueRangeAnalysis",
+    "assume",
+    "check_races",
+    "check_schedule_races",
+    "dead_stores",
+    "definitely_uninitialized_uses",
+    "derive_flow_facts",
+    "eval_range",
+    "liveness",
+    "reaching_definitions",
+    "run_dataflow",
+    "tightened_ipet_wcet",
+    "truth",
+    "value_ranges",
+    "verify_function",
+]

@@ -1,0 +1,166 @@
+"""Generic worklist dataflow solver over the per-function CFG.
+
+An analysis is described by a :class:`DataflowAnalysis` subclass: direction,
+the boundary state at the entry (forward) or exit (backward), the bottom
+state for not-yet-reached blocks, a lattice ``join``, a per-block
+``transfer`` function and an optional per-edge ``edge_transfer`` (branch
+refinement).  :func:`run_dataflow` iterates transfers to a fixed point with
+a FIFO worklist; analyses over infinite-height lattices (value ranges)
+terminate through ``widen``, which is applied once a block has been
+re-entered more than ``widen_after`` times.
+
+States are opaque to the solver; they only need ``==`` (used to detect the
+fixed point, overridable through :meth:`DataflowAnalysis.equal`).  ``None``
+is a valid state and conventionally means *unreachable* (the analysis's
+``join``/``transfer`` must then handle it, as the value-range analysis
+does).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.ir.cfg import CFGEdge, BasicBlock, ControlFlowGraph
+
+#: Hard per-block revisit cap: a correct analysis (finite lattice, or a
+#: proper ``widen``) converges far below this; hitting it flags the result
+#: as non-converged instead of looping forever.
+MAX_VISITS_PER_BLOCK = 200
+
+
+class DataflowAnalysis:
+    """Base class describing one dataflow problem to :func:`run_dataflow`."""
+
+    #: "forward" propagates entry -> exit, "backward" exit -> entry.
+    direction = "forward"
+    #: Number of re-entries of one block after which ``widen`` kicks in.
+    widen_after = 3
+
+    def boundary(self, cfg: ControlFlowGraph) -> Any:
+        """State at the CFG entry (forward) / exit (backward)."""
+        raise NotImplementedError
+
+    def initial(self, cfg: ControlFlowGraph) -> Any:
+        """Bottom state assumed for blocks before they are first reached."""
+        raise NotImplementedError
+
+    def join(self, states: list[Any]) -> Any:
+        """Least upper bound of the incoming states (len >= 1)."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, state: Any) -> Any:
+        """State after executing ``block`` starting from ``state``."""
+        raise NotImplementedError
+
+    def edge_transfer(self, edge: CFGEdge, state: Any) -> Any:
+        """Refine ``state`` along ``edge`` (default: unchanged)."""
+        return state
+
+    def widen(self, old: Any, new: Any) -> Any:
+        """Accelerate convergence; must eventually stabilise (default: new)."""
+        return new
+
+    def equal(self, a: Any, b: Any) -> bool:
+        return a == b
+
+
+@dataclass
+class DataflowResult:
+    """Fixed point of one analysis: program-order facts per block.
+
+    ``entry[bid]`` is the fact holding *before* the block executes,
+    ``exit[bid]`` the fact *after* -- for both directions (a backward
+    analysis computes ``entry`` from ``exit``).  Consumers must check
+    ``converged`` before trusting the states: a ``False`` flag means the
+    visit cap was hit and the states are an unfinished iterate, not a sound
+    over-approximation.
+    """
+
+    analysis_name: str
+    entry: dict[int, Any] = field(default_factory=dict)
+    exit: dict[int, Any] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = True
+
+
+def run_dataflow(cfg: ControlFlowGraph, analysis: DataflowAnalysis) -> DataflowResult:
+    """Iterate ``analysis`` over ``cfg`` to a fixed point."""
+    if analysis.direction not in ("forward", "backward"):
+        raise ValueError(f"unknown dataflow direction {analysis.direction!r}")
+    forward = analysis.direction == "forward"
+    blocks = cfg.blocks
+    start = cfg.entry if forward else cfg.exit
+
+    # "pre" is the state flowing into the transfer function (block entry for
+    # forward, block exit for backward); "post" is what the transfer yields.
+    pre: dict[int, Any] = {}
+    post: dict[int, Any] = {b.bid: analysis.initial(cfg) for b in blocks}
+
+    # Edges feeding a block in analysis order.
+    in_edges: dict[int, list[CFGEdge]] = {b.bid: [] for b in blocks}
+    out_blocks: dict[int, list[BasicBlock]] = {b.bid: [] for b in blocks}
+    for edge in cfg.edges:
+        if forward:
+            in_edges[edge.dst.bid].append(edge)
+            out_blocks[edge.src.bid].append(edge.dst)
+        else:
+            in_edges[edge.src.bid].append(edge)
+            out_blocks[edge.dst.bid].append(edge.src)
+
+    ordered: Iterable[BasicBlock] = blocks if forward else list(reversed(blocks))
+    worklist: deque[BasicBlock] = deque(ordered)
+    queued = {b.bid for b in blocks}
+    visits = {b.bid: 0 for b in blocks}
+    iterations = 0
+    converged = True
+
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.bid)
+        iterations += 1
+        visits[block.bid] += 1
+        if visits[block.bid] > MAX_VISITS_PER_BLOCK:
+            converged = False
+            continue
+
+        if block is start:
+            merged = analysis.boundary(cfg)
+        else:
+            incoming = [
+                analysis.edge_transfer(
+                    e, post[(e.src.bid if forward else e.dst.bid)]
+                )
+                for e in in_edges[block.bid]
+            ]
+            merged = analysis.join(incoming) if incoming else analysis.initial(cfg)
+
+        if block.bid in pre and visits[block.bid] > analysis.widen_after:
+            merged = analysis.widen(pre[block.bid], merged)
+        pre[block.bid] = merged
+
+        new_post = analysis.transfer(block, merged)
+        if analysis.equal(post[block.bid], new_post):
+            continue
+        post[block.bid] = new_post
+        for dependent in out_blocks[block.bid]:
+            if dependent.bid not in queued:
+                queued.add(dependent.bid)
+                worklist.append(dependent)
+
+    result = DataflowResult(
+        analysis_name=type(analysis).__name__,
+        iterations=iterations,
+        converged=converged,
+    )
+    for block in blocks:
+        before = pre.get(block.bid, analysis.initial(cfg))
+        after = post[block.bid]
+        if forward:
+            result.entry[block.bid] = before
+            result.exit[block.bid] = after
+        else:
+            result.entry[block.bid] = after
+            result.exit[block.bid] = before
+    return result

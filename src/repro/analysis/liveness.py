@@ -1,0 +1,119 @@
+"""Live-variable analysis over the per-function CFG.
+
+Backward may-analysis: a variable is live at a point when some path to the
+function exit reads it before (strongly) writing it.  The state is a
+``frozenset`` of names; join is set union.  Non-local variables (shared,
+scratchpad, input, output buffers) are live at the function exit -- their
+final values are observable by other cores and by the next activation --
+so only ``LOCAL`` values can ever be found dead.
+
+Array-element writes never kill (index-insensitive), and loop headers read
+their bound expressions plus, conservatively, the index variable (the back
+path increments it), which keeps the analysis sound at the cost of never
+reporting loop indices dead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import DataflowAnalysis, DataflowResult, run_dataflow
+from repro.ir.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.ir.expressions import Var
+from repro.ir.program import Function, Storage
+from repro.ir.statements import Assign, For
+
+LiveState = frozenset
+
+
+class Liveness(DataflowAnalysis):
+    """Backward may-analysis over frozensets of variable names."""
+
+    direction = "backward"
+
+    def __init__(self, function: Function, cfg: ControlFlowGraph) -> None:
+        self.function = function
+        self.cfg = cfg
+
+    def boundary(self, cfg: ControlFlowGraph) -> LiveState:
+        return frozenset(
+            d.name
+            for d in self.function.all_decls()
+            if d.storage is not Storage.LOCAL
+        )
+
+    def initial(self, cfg: ControlFlowGraph) -> LiveState:
+        return frozenset()
+
+    def join(self, states: list[LiveState]) -> LiveState:
+        merged: set[str] = set()
+        for state in states:
+            merged |= state
+        return frozenset(merged)
+
+    def transfer(self, block: BasicBlock, live_out: LiveState) -> LiveState:
+        live = set(live_out)
+        # conditions are evaluated at the end of the block
+        for cond in block.conditions:
+            live |= cond.variables_read()
+        header_stmt = self.cfg.loop_stmts.get(block.bid)
+        if isinstance(header_stmt, For):
+            live |= header_stmt.lower.variables_read()
+            live.add(header_stmt.index.name)
+        for stmt in reversed(block.statements):
+            if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+                live.discard(stmt.target.name)
+            live |= stmt.variables_read()
+        return frozenset(live)
+
+
+def liveness(function: Function, cfg: ControlFlowGraph | None = None) -> DataflowResult:
+    """Run live-variable analysis on ``function``."""
+    cfg = cfg if cfg is not None else build_cfg(function, allow_unbounded=True)
+    return run_dataflow(cfg, Liveness(function, cfg))
+
+
+def dead_stores(
+    function: Function, cfg: ControlFlowGraph | None = None
+) -> list[tuple[str, int]]:
+    """Assignments to local scalars whose value no path ever reads.
+
+    Returns ``(variable name, block id)`` pairs.  Variables whose names start
+    with ``unused_`` are skipped: the front-end generates them deliberately
+    for unconnected ports.
+    """
+    cfg = cfg if cfg is not None else build_cfg(function, allow_unbounded=True)
+    analysis = Liveness(function, cfg)
+    result = run_dataflow(cfg, analysis)
+    if not result.converged:  # pragma: no cover - finite lattice, converges
+        return []
+
+    local_scalars = {
+        d.name
+        for d in function.all_decls()
+        if d.storage is Storage.LOCAL and not d.is_array
+    }
+    reachable = cfg.reachable_blocks()
+    found: list[tuple[str, int]] = []
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        # replay the block backwards from its live-out set, checking each
+        # scalar store against liveness immediately after it
+        live = set(result.exit[block.bid])
+        for cond in block.conditions:
+            live |= cond.variables_read()
+        header_stmt = cfg.loop_stmts.get(block.bid)
+        if isinstance(header_stmt, For):
+            live |= header_stmt.lower.variables_read()
+            live.add(header_stmt.index.name)
+        for stmt in reversed(block.statements):
+            if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+                name = stmt.target.name
+                if (
+                    name in local_scalars
+                    and name not in live
+                    and not name.startswith("unused_")
+                ):
+                    found.append((name, block.bid))
+                live.discard(name)
+            live |= stmt.variables_read()
+    return found

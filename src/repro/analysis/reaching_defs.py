@@ -1,0 +1,148 @@
+"""Reaching-definitions analysis over the per-function CFG.
+
+The state maps each variable name to the frozenset of statement ids
+(``Stmt.sid``) whose assignment may reach the program point.  Two sentinel
+"definition sites" complete the lattice:
+
+* :data:`DEF_EXTERNAL` (-1) -- the value existing before the function runs
+  (parameters, shared/input/output buffers, initialised locals, persistent
+  state);
+* :data:`DEF_UNINIT` (-2) -- an uninitialised local: when it is the *only*
+  definition reaching a read, the read is provably use-before-def.
+
+Scalar assignments kill strongly (the set is replaced); array-element
+assignments update weakly (the set grows), because the analysis does not
+reason about indices.  ``for`` headers define their index variable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import DataflowAnalysis, DataflowResult, run_dataflow
+from repro.ir.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.ir.expressions import Var
+from repro.ir.program import Function, Storage
+from repro.ir.statements import Assign, For
+
+DEF_EXTERNAL = -1
+DEF_UNINIT = -2
+
+RDState = dict[str, frozenset]
+
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Forward may-analysis; join is per-variable set union."""
+
+    direction = "forward"
+
+    def __init__(self, function: Function, cfg: ControlFlowGraph) -> None:
+        self.function = function
+        self.cfg = cfg
+
+    def boundary(self, cfg: ControlFlowGraph) -> RDState:
+        state: RDState = {}
+        for decl in self.function.all_decls():
+            uninitialised = (
+                decl.storage is Storage.LOCAL
+                and not decl.is_array
+                and decl.initial is None
+            )
+            state[decl.name] = frozenset(
+                {DEF_UNINIT if uninitialised else DEF_EXTERNAL}
+            )
+        for stmt in self.function.body.walk():
+            if isinstance(stmt, For):
+                state.setdefault(stmt.index.name, frozenset({DEF_UNINIT}))
+        return state
+
+    def initial(self, cfg: ControlFlowGraph) -> RDState:
+        return {}
+
+    def join(self, states: list[RDState]) -> RDState:
+        merged: RDState = {}
+        for state in states:
+            for name, defs in state.items():
+                merged[name] = merged.get(name, frozenset()) | defs
+        return merged
+
+    def transfer(self, block: BasicBlock, state: RDState) -> RDState:
+        out = dict(state)
+        header_stmt = self.cfg.loop_stmts.get(block.bid)
+        if isinstance(header_stmt, For):
+            # the header initialises/advances the index before any body use
+            out[header_stmt.index.name] = frozenset({header_stmt.sid})
+        for stmt in block.statements:
+            if not isinstance(stmt, Assign):
+                continue
+            if isinstance(stmt.target, Var):
+                out[stmt.target.name] = frozenset({stmt.sid})
+            else:
+                name = stmt.target.array
+                out[name] = out.get(name, frozenset()) | frozenset({stmt.sid})
+        return out
+
+
+def reaching_definitions(
+    function: Function, cfg: ControlFlowGraph | None = None
+) -> DataflowResult:
+    """Run reaching definitions on ``function`` and return the fixed point."""
+    cfg = cfg if cfg is not None else build_cfg(function, allow_unbounded=True)
+    return run_dataflow(cfg, ReachingDefinitions(function, cfg))
+
+
+def definitely_uninitialized_uses(
+    function: Function, cfg: ControlFlowGraph | None = None
+) -> list[tuple[str, int]]:
+    """Reads of local scalars that *only* an uninitialised state can reach.
+
+    Returns ``(variable name, block id)`` pairs for reads where the sole
+    reaching definition is :data:`DEF_UNINIT`.  Restricted to ``LOCAL``
+    scalars: shared/scratchpad/state variables legitimately carry values
+    from outside the function, and arrays are updated weakly so a definite
+    verdict is impossible.
+    """
+    cfg = cfg if cfg is not None else build_cfg(function, allow_unbounded=True)
+    analysis = ReachingDefinitions(function, cfg)
+    result = run_dataflow(cfg, analysis)
+    if not result.converged:  # pragma: no cover - finite lattice, converges
+        return []
+
+    local_scalars = {
+        d.name
+        for d in function.all_decls()
+        if d.storage is Storage.LOCAL and not d.is_array and d.initial is None
+    }
+    uninit_only = frozenset({DEF_UNINIT})
+    reachable = cfg.reachable_blocks()
+    found: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
+
+    def check_reads(names, state: RDState, bid: int) -> None:
+        for name in names:
+            if name not in local_scalars:
+                continue
+            if state.get(name) == uninit_only and (name, bid) not in seen:
+                seen.add((name, bid))
+                found.append((name, bid))
+
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        state = dict(result.entry[block.bid])
+        header_stmt = cfg.loop_stmts.get(block.bid)
+        if header_stmt is not None:
+            # bound/condition expressions are evaluated by the header itself
+            check_reads(header_stmt.variables_read(), state, block.bid)
+        if isinstance(header_stmt, For):
+            state[header_stmt.index.name] = frozenset({header_stmt.sid})
+        for stmt in block.statements:
+            check_reads(stmt.variables_read(), state, block.bid)
+            if isinstance(stmt, Assign):
+                if isinstance(stmt.target, Var):
+                    state[stmt.target.name] = frozenset({stmt.sid})
+                else:
+                    name = stmt.target.array
+                    state[name] = state.get(name, frozenset()) | frozenset({stmt.sid})
+        if header_stmt is None:
+            for cond in block.conditions:
+                check_reads(cond.variables_read(), state, block.bid)
+    return found

@@ -1,0 +1,107 @@
+"""Typed result model shared by every static analysis in this package.
+
+A :class:`Finding` is one diagnosable fact about the program (a race, an
+unreachable block, an unverifiable loop bound ...), identified by a stable
+dotted ``code`` so tooling can filter without parsing messages.  An
+:class:`AnalysisReport` aggregates the findings of one analysis run plus
+"work done" counters (pairs checked, blocks visited ...), so an empty
+findings list is distinguishable from an analysis that never ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Finding severities, most severe first.  ``error`` findings describe
+#: programs the flow must reject (races, malformed CFGs); ``warning``
+#: findings are soundness-relevant but survivable (a declared loop bound
+#: below the provable minimum); ``info`` findings are advisory (a dead
+#: store the cleanup passes will remove anyway).
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One fact established by a static analysis."""
+
+    #: Stable dotted identifier, e.g. ``race.write-write`` or
+    #: ``cfg.unreachable-block``.
+    code: str
+    message: str
+    #: Name of the IR function (or HTG) the finding is about.
+    function: str = ""
+    #: The offending entity: a variable, a ``task_a<->task_b`` pair, a
+    #: ``BB<n>`` block label ...
+    subject: str = ""
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+            "subject": self.subject,
+            "severity": self.severity,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.function}:{self.subject}]" if self.function or self.subject else ""
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Findings plus work-done counters of one analysis run."""
+
+    analysis: str
+    findings: list[Finding] = field(default_factory=list)
+    #: Counters describing the work performed (``pairs_checked``,
+    #: ``blocks``, ``loops_verified`` ...); an all-zero report with zero
+    #: findings means "nothing to check", not "checked and clean".
+    checked: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings at all."""
+        return not self.findings
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "AnalysisReport") -> None:
+        """Fold another report into this one (counters are summed)."""
+        self.findings.extend(other.findings)
+        for key, value in other.checked.items():
+            self.checked[key] = self.checked.get(key, 0) + value
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.checked[counter] = self.checked.get(counter, 0) + amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "analysis": self.analysis,
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "checked": dict(self.checked),
+        }
+
+    def summary(self) -> str:
+        """One text block per finding plus a trailing counter line."""
+        lines = [str(f) for f in self.findings]
+        counters = ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
+        status = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        lines.append(f"{self.analysis}: {status}" + (f" ({counters})" if counters else ""))
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""IR verifier: structural and dataflow lint over one function.
+
+Checks, in order: every referenced variable is declared; every loop carries
+a derivable trip-count bound (named diagnostic per loop); the CFG is
+well-formed (entry/exit present, entry has no predecessors, exit no
+successors, every block reachable, edge endpoints belong to the graph);
+no read of a local scalar is reachable only by the uninitialised state
+(def-before-use); no store to a local scalar is dead on every path; no
+declared local is entirely unreferenced.
+
+The verifier never mutates the function.  It is surfaced both as a plain
+function (:func:`verify_function`, used by ``python -m repro lint``) and as
+a registered pipeline pass (``ir_verifier``) that reports through the
+normal :class:`~repro.transforms.base.PassReport` channel.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import dead_stores
+from repro.analysis.reaching_defs import definitely_uninitialized_uses
+from repro.analysis.report import AnalysisReport, Finding
+from repro.ir.cfg import EDGE_KINDS, build_cfg
+from repro.ir.loops import LoopBoundError, loop_trip_count
+from repro.ir.program import Function, Storage
+from repro.ir.statements import For, collect_loops
+from repro.transforms.base import FunctionPass, PassReport
+
+
+def _check_declarations(function: Function, report: AnalysisReport) -> None:
+    try:
+        function.validate()
+    except ValueError as exc:
+        report.add(
+            Finding(
+                code="ir.undeclared-variable",
+                message=str(exc),
+                function=function.name,
+            )
+        )
+    else:
+        report.bump("declarations_checked", len(function.all_decls()))
+
+
+def _check_loop_bounds(function: Function, report: AnalysisReport) -> None:
+    for loop in collect_loops(function.body):
+        subject = (
+            f"loop over {loop.index.name!r}"
+            if isinstance(loop, For)
+            else "while loop"
+        )
+        try:
+            loop_trip_count(loop)
+        except LoopBoundError as exc:
+            report.add(
+                Finding(
+                    code="ir.unbounded-loop",
+                    message=str(exc),
+                    function=function.name,
+                    subject=subject,
+                )
+            )
+        else:
+            report.bump("loops_bounded")
+
+
+def _check_cfg(function: Function, cfg, report: AnalysisReport) -> None:
+    if cfg.entry is None or cfg.exit is None:
+        report.add(
+            Finding(
+                code="cfg.missing-entry-exit",
+                message="control-flow graph lacks an entry or exit block",
+                function=function.name,
+            )
+        )
+        return
+    bids = {block.bid for block in cfg.blocks}
+    if len(bids) != len(cfg.blocks):
+        report.add(
+            Finding(
+                code="cfg.duplicate-block-id",
+                message="basic block ids are not unique",
+                function=function.name,
+            )
+        )
+    for edge in cfg.edges:
+        if edge.src.bid not in bids or edge.dst.bid not in bids:
+            report.add(
+                Finding(
+                    code="cfg.dangling-edge",
+                    message=f"edge {edge.key} references a block outside the graph",
+                    function=function.name,
+                    subject=str(edge.key),
+                )
+            )
+        if edge.kind not in EDGE_KINDS:
+            report.add(
+                Finding(
+                    code="cfg.bad-edge-kind",
+                    message=f"edge {edge.key} has unknown kind {edge.kind!r}",
+                    function=function.name,
+                    subject=str(edge.key),
+                )
+            )
+    if cfg.predecessors(cfg.entry):
+        report.add(
+            Finding(
+                code="cfg.entry-has-predecessors",
+                message="the entry block has incoming edges",
+                function=function.name,
+                subject=f"BB{cfg.entry.bid}",
+            )
+        )
+    if cfg.successors(cfg.exit):
+        report.add(
+            Finding(
+                code="cfg.exit-has-successors",
+                message="the exit block has outgoing edges",
+                function=function.name,
+                subject=f"BB{cfg.exit.bid}",
+            )
+        )
+    reachable = cfg.reachable_blocks()
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            report.add(
+                Finding(
+                    code="cfg.unreachable-block",
+                    message=f"basic block BB{block.bid} ({block.label}) is "
+                    "unreachable from the entry",
+                    function=function.name,
+                    subject=f"BB{block.bid}",
+                    severity="warning",
+                )
+            )
+    report.bump("blocks_checked", len(cfg.blocks))
+    report.bump("edges_checked", len(cfg.edges))
+
+
+def _check_unused_decls(function: Function, report: AnalysisReport) -> None:
+    referenced: set[str] = set()
+    for stmt in function.body.walk():
+        referenced |= stmt.variables_read()
+        referenced |= stmt.variables_written()
+    for decl in function.decls:
+        if decl.storage is not Storage.LOCAL:
+            continue
+        if decl.name.startswith("unused_"):
+            continue  # deliberate sinks for unconnected ports
+        if decl.name not in referenced:
+            report.add(
+                Finding(
+                    code="ir.unused-variable",
+                    message=f"local variable {decl.name!r} is never referenced",
+                    function=function.name,
+                    subject=decl.name,
+                    severity="warning",
+                )
+            )
+
+
+def verify_function(function: Function) -> AnalysisReport:
+    """Run every verifier check on ``function`` and return the report."""
+    report = AnalysisReport("ir_verifier")
+    _check_declarations(function, report)
+    _check_loop_bounds(function, report)
+    cfg = build_cfg(function, allow_unbounded=True)
+    _check_cfg(function, cfg, report)
+    for name, bid in definitely_uninitialized_uses(function, cfg):
+        report.add(
+            Finding(
+                code="ir.use-before-def",
+                message=f"local scalar {name!r} is read in BB{bid} before any "
+                "assignment on every path",
+                function=function.name,
+                subject=name,
+            )
+        )
+    for name, bid in dead_stores(function, cfg):
+        report.add(
+            Finding(
+                code="ir.dead-store",
+                message=f"value assigned to local scalar {name!r} in BB{bid} is "
+                "never read on any path",
+                function=function.name,
+                subject=name,
+                severity="warning",
+            )
+        )
+    _check_unused_decls(function, report)
+    return report
+
+
+class IRVerifierPass(FunctionPass):
+    """Pipeline pass wrapper: verifies, reports, never mutates."""
+
+    name = "ir_verifier"
+
+    def run(self, function: Function) -> PassReport:
+        report = verify_function(function)
+        details: dict[str, float | int | str] = {
+            "findings": len(report.findings),
+            "errors": report.count("error"),
+            "warnings": report.count("warning"),
+        }
+        if report.findings:
+            details["first_finding"] = str(report.findings[0])
+        return PassReport(
+            pass_name=self.name,
+            function_name=function.name,
+            changed=False,
+            details=details,
+        )

@@ -1,6 +1,6 @@
 """Maintenance command line of the repro flow (``python -m repro``).
 
-Currently one command family, ``cache``, operating on shared result-cache
+Two command families.  ``cache`` operates on shared result-cache
 directories (the ones named by ``REPRO_WCET_CACHE_DIR``, ``sweep
 (cache_dir=...)`` or ``benchmarks/run_all.py --cache-dir``)::
 
@@ -15,11 +15,27 @@ tiers (code-level WCET analyses and system-level fixed-point results);
 directories stop growing without bound.  Entries of other schema versions
 are never touched; delete stale ``v<N>`` subdirectories manually once no
 older deployment reads them.
+
+``lint`` runs the static-analysis layer (:mod:`repro.analysis`) over
+dataflow models: the IR verifier, the WCET flow-fact derivation and the
+schedule race checker, end to end through the standard pipeline on the
+generic predictable platform::
+
+    python -m repro lint                      # all built-in use cases
+    python -m repro lint egpws polka          # a subset
+    python -m repro lint examples/quickstart.py --json
+
+Targets are built-in use-case names (``egpws``, ``weaa``, ``polka``) or
+paths to Python files exposing a ``build_model() -> Diagram`` function.
+Exit status: 0 when every target is finding-free, 1 when any analysis
+produced findings (or a target failed to build), 2 for usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
+import json
 import sys
 from pathlib import Path
 
@@ -92,6 +108,108 @@ def _cmd_cache_evict(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# lint
+# ---------------------------------------------------------------------- #
+def _builtin_lint_targets() -> dict:
+    from repro.usecases import ALL_USECASES
+
+    return {name: build for name, (build, _inputs) in ALL_USECASES.items()}
+
+
+def _load_diagram_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"repro_lint_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ValueError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    build = getattr(module, "build_model", None)
+    if build is None:
+        raise ValueError(f"{path} does not define build_model()")
+    return build
+
+
+def _lint_one(target: str, build_diagram) -> dict:
+    """Run the full analysis layer on one diagram; returns a JSON-able record."""
+    from repro.adl.platforms import generic_predictable_multicore
+    from repro.analysis.report import AnalysisReport, Finding
+    from repro.analysis.verifier import verify_function
+    from repro.analysis.wcet_facts import derive_flow_facts
+    from repro.core.config import ToolchainConfig
+    from repro.core.exceptions import ToolchainError
+    from repro.core.pipeline import run_pipeline
+
+    reports: list[AnalysisReport] = []
+    try:
+        diagram = build_diagram()
+        result = run_pipeline(
+            diagram, generic_predictable_multicore(), ToolchainConfig()
+        )
+    except ToolchainError as exc:
+        failed = AnalysisReport("pipeline")
+        failed.add(Finding(code="pipeline.error", message=str(exc), function=target))
+        reports.append(failed)
+    else:
+        entry = result.model.entry
+        reports.append(verify_function(entry))
+        _facts, facts_report = derive_flow_facts(entry)
+        reports.append(facts_report)
+        reports.append(result.schedule.race_findings(result.htg, entry))
+    return {
+        "target": target,
+        "ok": all(r.ok for r in reports),
+        "reports": [r.as_dict() for r in reports],
+    }
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    builtins = _builtin_lint_targets()
+    requested = args.targets or sorted(builtins)
+    plan: list[tuple[str, object]] = []
+    for target in requested:
+        if target in builtins:
+            plan.append((target, builtins[target]))
+            continue
+        path = Path(target)
+        if path.suffix == ".py" and path.is_file():
+            try:
+                plan.append((target, _load_diagram_module(path)))
+            except Exception as exc:
+                print(f"cannot load lint target {target}: {exc}", file=sys.stderr)
+                return 2
+            continue
+        print(
+            f"unknown lint target {target!r}: expected one of "
+            f"{', '.join(sorted(builtins))} or a path to a .py file defining "
+            "build_model()",
+            file=sys.stderr,
+        )
+        return 2
+
+    records = [_lint_one(target, build) for target, build in plan]
+    total_findings = sum(
+        len(report["findings"]) for record in records for report in record["reports"]
+    )
+    if args.json:
+        print(json.dumps({"targets": records, "findings": total_findings}, indent=2))
+    else:
+        for record in records:
+            status = "clean" if record["ok"] else "FINDINGS"
+            print(f"{record['target']}: {status}")
+            for report in record["reports"]:
+                counters = ", ".join(
+                    f"{k}={v}" for k, v in sorted(report["checked"].items())
+                )
+                print(f"  {report['analysis']}: {len(report['findings'])} finding(s)"
+                      + (f" ({counters})" if counters else ""))
+                for finding in report["findings"]:
+                    print(f"    {finding['severity']}: {finding['code']} "
+                          f"[{finding['function']}:{finding['subject']}] "
+                          f"{finding['message']}")
+        print(f"lint: {len(records)} target(s), {total_findings} finding(s)")
+    return 1 if total_findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -124,6 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop entries whose shard is older (entries used by this run are exempt)",
     )
     evict.set_defaults(func=_cmd_cache_evict)
+
+    lint = commands.add_parser(
+        "lint", help="run the static-analysis layer over dataflow models"
+    )
+    lint.add_argument(
+        "targets",
+        nargs="*",
+        help="built-in use-case names (egpws, weaa, polka) and/or paths to "
+        "Python files defining build_model(); default: all built-ins",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

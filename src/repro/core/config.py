@@ -43,6 +43,12 @@ class ToolchainConfig:
     feedback_iterations: int = 1
     contention_weight: float = 1.0
     seed: int = 0
+    #: Gate the ``parallel`` stage on the static schedule race checker
+    #: (:mod:`repro.analysis.races`): a schedule with an unordered pair of
+    #: conflicting shared accesses aborts the run with a ``PipelineError``
+    #: before any code is generated.  On by default; the knob exists for
+    #: experiments that intentionally build unsound schedules.
+    race_check: bool = True
     #: Opt into the pipeline's per-stage artifact cache: stages that declare
     #: a content-addressed cache key (the built-in ``schedule`` and ``wcet``
     #: stages do) reuse their artifacts across runs with identical inputs.
@@ -82,6 +88,10 @@ class ToolchainConfig:
         if not isinstance(self.stage_cache, bool):
             raise ValueError(
                 f"stage_cache must be a bool, got {self.stage_cache!r}"
+            )
+        if not isinstance(self.race_check, bool):
+            raise ValueError(
+                f"race_check must be a bool, got {self.race_check!r}"
             )
         if self.scratchpad_capacity_bytes is not None and self.scratchpad_capacity_bytes < 1:
             raise ValueError(

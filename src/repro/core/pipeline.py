@@ -55,6 +55,7 @@ from repro.core.exceptions import ToolchainError
 from repro.frontend import CompiledModel, compile_diagram
 from repro.htg import HierarchicalTaskGraph, extract_htg
 from repro.htg.extraction import ExtractionOptions
+from repro.ir.loops import describe_unbounded_loops
 from repro.model.diagram import Diagram
 from repro.parallel import ParallelProgram, build_parallel_program
 from repro.scheduling.registry import get_scheduler
@@ -260,6 +261,14 @@ class PipelineResult:
 # ---------------------------------------------------------------------- #
 def _frontend_stage(context: PipelineContext) -> dict[str, Any]:
     model = compile_diagram(context.diagram)
+    # Catch unbounded loops here with a diagnostic naming function and loop,
+    # instead of failing much later inside IPET with an opaque LP error.
+    problems = describe_unbounded_loops(model.entry)
+    if problems:
+        raise PipelineError(
+            "the compiled model contains loops without a derivable worst-case "
+            "trip count: " + "; ".join(problems)
+        )
     context.info["blocks"] = len(model.block_regions)
     return {"model": model}
 
@@ -308,6 +317,18 @@ def _schedule_stage(context: PipelineContext) -> dict[str, Any]:
 
 def _parallel_stage(context: PipelineContext) -> dict[str, Any]:
     model: CompiledModel = context.artifact("transformed_model")
+    if context.config.race_check:
+        from repro.analysis.races import check_schedule_races
+
+        race_report = check_schedule_races(
+            context.artifact("htg"), context.artifact("schedule"), model.entry
+        )
+        context.info["race_pairs_checked"] = race_report.checked.get("pairs_checked", 0)
+        if not race_report.ok:
+            raise PipelineError(
+                "the schedule leaves conflicting shared accesses unordered: "
+                + "; ".join(str(f) for f in race_report.findings)
+            )
     program = build_parallel_program(
         context.artifact("htg"), model.entry, context.platform, context.artifact("schedule")
     )

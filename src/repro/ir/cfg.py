@@ -46,13 +46,27 @@ class BasicBlock:
         return f"BB{self.bid}({self.label})"
 
 
+#: The only edge kinds the IPET formulation and the dataflow analyses
+#: understand; :meth:`_CFGBuilder.edge` rejects anything else.
+EDGE_KINDS = ("fallthrough", "taken", "back", "exit")
+
+
 @dataclass
 class CFGEdge:
     """A directed control-flow edge."""
 
     src: BasicBlock
     dst: BasicBlock
-    kind: str = "fallthrough"  # fallthrough | taken | back | exit
+    kind: str = "fallthrough"  # one of EDGE_KINDS
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        """Stable identity of the edge: ``(src bid, dst bid, kind)``.
+
+        Unlike ``id(edge)`` this survives CFG copying/caching, so it is what
+        the IPET LP and the flow-fact format key edges by.
+        """
+        return (self.src.bid, self.dst.bid, self.kind)
 
 
 @dataclass
@@ -64,10 +78,17 @@ class ControlFlowGraph:
     edges: list[CFGEdge] = field(default_factory=list)
     entry: BasicBlock | None = None
     exit: BasicBlock | None = None
-    #: Map of loop-header block id -> worst-case trip count.
+    #: Map of loop-header block id -> worst-case trip count.  Headers whose
+    #: bound could not be derived (only possible when the CFG was built with
+    #: ``allow_unbounded=True``) are absent here but present in
+    #: :attr:`back_edges` / :attr:`loop_stmts`.
     loop_bounds: dict[int, int] = field(default_factory=dict)
     #: Map of loop-header block id -> back-edge source block id.
     back_edges: dict[int, int] = field(default_factory=dict)
+    #: Map of loop-header block id -> the ``For``/``While`` statement it was
+    #: lowered from (used by the dataflow analyses to model the loop index
+    #: and by the flow-fact derivation to re-derive bounds).
+    loop_stmts: dict[int, Stmt] = field(default_factory=dict)
 
     def successors(self, block: BasicBlock) -> list[BasicBlock]:
         return [e.dst for e in self.edges if e.src is block]
@@ -84,11 +105,32 @@ class ControlFlowGraph:
                 return block
         raise KeyError(f"no basic block with id {bid}")
 
+    def reachable_blocks(self) -> set[int]:
+        """Block ids reachable from the entry along CFG edges."""
+        if self.entry is None:
+            return set()
+        succs: dict[int, list[int]] = {}
+        for edge in self.edges:
+            succs.setdefault(edge.src.bid, []).append(edge.dst.bid)
+        seen = {self.entry.bid}
+        stack = [self.entry.bid]
+        while stack:
+            for nxt in succs.get(stack.pop(), ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
 
 class _CFGBuilder:
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, allow_unbounded: bool = False) -> None:
         self.cfg = ControlFlowGraph(name)
         self._ids = itertools.count(0)
+        #: When set, loops without a derivable trip count are recorded in
+        #: ``loop_stmts``/``back_edges`` but omitted from ``loop_bounds``
+        #: instead of raising -- the value-range flow-fact derivation may
+        #: still bound them later.
+        self._allow_unbounded = allow_unbounded
 
     def new_block(self, label: str = "") -> BasicBlock:
         block = BasicBlock(next(self._ids), label=label)
@@ -96,6 +138,11 @@ class _CFGBuilder:
         return block
 
     def edge(self, src: BasicBlock, dst: BasicBlock, kind: str = "fallthrough") -> None:
+        if kind not in EDGE_KINDS:
+            raise ValueError(
+                f"unknown CFG edge kind {kind!r} for {src!r} -> {dst!r}; "
+                f"allowed kinds: {', '.join(EDGE_KINDS)}"
+            )
         self.cfg.edges.append(CFGEdge(src, dst, kind))
 
     def build(self, function: Function) -> ControlFlowGraph:
@@ -146,12 +193,27 @@ class _CFGBuilder:
             self.edge(header, after, "exit")
             body_exit = self._lower_block(stmt.body, body_entry, trip_count_fn)
             self.edge(body_exit, header, "back")
-            self.cfg.loop_bounds[header.bid] = trip_count_fn(stmt)
+            if self._allow_unbounded:
+                from repro.ir.loops import LoopBoundError
+
+                try:
+                    self.cfg.loop_bounds[header.bid] = trip_count_fn(stmt)
+                except LoopBoundError:
+                    pass
+            else:
+                self.cfg.loop_bounds[header.bid] = trip_count_fn(stmt)
             self.cfg.back_edges[header.bid] = body_exit.bid
+            self.cfg.loop_stmts[header.bid] = stmt
             return after
         raise TypeError(f"unsupported statement {type(stmt).__name__}")
 
 
-def build_cfg(function: Function) -> ControlFlowGraph:
-    """Build the control-flow graph of ``function``."""
-    return _CFGBuilder(function.name).build(function)
+def build_cfg(function: Function, allow_unbounded: bool = False) -> ControlFlowGraph:
+    """Build the control-flow graph of ``function``.
+
+    With ``allow_unbounded=True`` loops whose trip count cannot be derived
+    from their annotations do not raise :class:`repro.ir.loops.LoopBoundError`;
+    their headers are simply missing from :attr:`ControlFlowGraph.loop_bounds`
+    (callers such as the flow-fact derivation may bound them by other means).
+    """
+    return _CFGBuilder(function.name, allow_unbounded=allow_unbounded).build(function)

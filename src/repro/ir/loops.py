@@ -131,3 +131,26 @@ def check_all_loops_bounded(stmt: Stmt) -> None:
         # every loop is bounded; this function exists for explicit validation
         # call sites and re-checks defensively.
         loop_trip_count(info.loop)
+
+
+def describe_unbounded_loops(function) -> list[str]:
+    """Human-readable diagnostics for every unbounded loop of ``function``.
+
+    Unlike :func:`check_all_loops_bounded` this never raises and names the
+    function and the loop in each message, so front-end gates can report all
+    problems at once instead of failing later inside IPET with an opaque LP
+    error.  Uses :func:`repro.ir.statements.collect_loops` (not the loop
+    forest, whose construction itself raises on the first unbounded loop).
+    """
+    from repro.ir.statements import For, collect_loops
+
+    problems: list[str] = []
+    for loop in collect_loops(function.body):
+        try:
+            loop_trip_count(loop)
+        except LoopBoundError as exc:
+            where = (
+                f"loop over {loop.index.name!r}" if isinstance(loop, For) else "while loop"
+            )
+            problems.append(f"function {function.name!r}, {where}: {exc}")
+    return problems

@@ -9,11 +9,51 @@ from __future__ import annotations
 
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.printer import to_c
+from repro.ir.program import Function
 from repro.parallel.model import ParallelProgram, SyncOp
 
 
-def parallel_program_to_c(program: ParallelProgram, htg: HierarchicalTaskGraph) -> str:
-    """Render the parallel program as annotated C-like source text."""
+class CodegenRaceError(RuntimeError):
+    """The program to be rendered contains an unordered shared-access pair."""
+
+
+def _program_schedule(program: ParallelProgram) -> tuple[dict[str, int], dict[int, list[str]]]:
+    """Mapping and per-core order as actually laid out in the program."""
+    mapping: dict[str, int] = {}
+    order: dict[int, list[str]] = {}
+    for core_id, core_program in program.core_programs.items():
+        tasks = [item for item in core_program.items if not isinstance(item, SyncOp)]
+        order[core_id] = tasks
+        for task_id in tasks:
+            mapping[task_id] = core_id
+    return mapping, order
+
+
+def parallel_program_to_c(
+    program: ParallelProgram,
+    htg: HierarchicalTaskGraph,
+    function: Function | None = None,
+    check_races: bool = True,
+) -> str:
+    """Render the parallel program as annotated C-like source text.
+
+    When ``function`` is supplied (it carries the storage classes of the
+    shared declarations) and ``check_races`` is on, the emitted layout is
+    first re-checked by the static race checker -- using the mapping/order
+    reconstructed from the *program itself*, so the check covers what is
+    actually printed, not what the schedule intended.  A detected race
+    raises :class:`CodegenRaceError` instead of emitting unsound C.
+    """
+    if function is not None and check_races:
+        from repro.analysis.races import check_races as _check
+
+        mapping, order = _program_schedule(program)
+        report = _check(htg, mapping, order, function)
+        if not report.ok:
+            raise CodegenRaceError(
+                f"refusing to emit C for {program.name!r}: "
+                + "; ".join(str(f) for f in report.findings)
+            )
     lines: list[str] = []
     lines.append(f"/* parallel program {program.name} for platform {program.platform_name} */")
     lines.append("/* shared memory map:")

@@ -80,6 +80,16 @@ class Schedule:
                             f"core {core}: order places {a!r} before its dependency {b!r}"
                         )
 
+    def race_findings(self, htg: HierarchicalTaskGraph, function: Function):
+        """Static race check of this schedule (see :mod:`repro.analysis.races`).
+
+        Returns the checker's :class:`~repro.analysis.report.AnalysisReport`;
+        ``report.ok`` means every conflicting cross-core pair is ordered.
+        """
+        from repro.analysis.races import check_schedule_races
+
+        return check_schedule_races(htg, self, function)
+
     def gantt(self) -> str:
         """Small text Gantt chart for reports."""
         if self.result is None:

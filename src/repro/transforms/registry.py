@@ -120,6 +120,16 @@ def _dead_code_elimination(context: PassContext) -> FunctionPass:
 
 
 @register_pass(
+    "ir_verifier",
+    description="structural + dataflow IR lint; reports findings, never mutates",
+)
+def _ir_verifier(context: PassContext) -> FunctionPass:
+    from repro.analysis.verifier import IRVerifierPass
+
+    return IRVerifierPass()
+
+
+@register_pass(
     "scratchpad_allocation",
     description="WCET-directed promotion of block-local state to scratchpads",
 )

@@ -6,11 +6,17 @@ conservation and loop-bound constraints, solved as a linear program.  On our
 structured IR it serves as an independent cross-check of the structural
 analysis (they must agree on loop-free code and stay within the loop-header
 accounting difference otherwise).
+
+The optional :class:`FlowFacts` argument injects results of the value-range
+analysis (:mod:`repro.analysis.wcet_facts`): statically infeasible edges are
+pinned to ``x_e = 0`` and derived loop bounds override declared ones when
+tighter.  Every flow fact only *adds* constraints to a maximisation problem,
+so the bound with facts is provably no looser than the plain bound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import linprog
@@ -23,6 +29,27 @@ from repro.wcet.hardware_model import HardwareCostModel
 
 class IpetError(RuntimeError):
     """Raised when the IPET linear program cannot be solved."""
+
+
+@dataclass
+class FlowFacts:
+    """Extra path information feeding the IPET LP.
+
+    ``infeasible_edges`` holds stable edge keys (``CFGEdge.key``, i.e.
+    ``(src bid, dst bid, kind)``) of edges no execution can take; their
+    variables are pinned to zero.  ``loop_bounds`` maps loop-header block
+    ids to trip-count bounds; for headers that also carry a declared bound
+    the *minimum* of the two is used, and headers without any declared
+    bound (CFG built with ``allow_unbounded=True``) are bounded by the fact
+    alone.  Facts keyed to edges/blocks absent from the CFG are ignored.
+    """
+
+    infeasible_edges: frozenset[tuple[int, int, str]] = frozenset()
+    loop_bounds: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.infeasible_edges and not self.loop_bounds
 
 
 @dataclass
@@ -43,7 +70,11 @@ def _block_cost(block, function: Function, model: HardwareCostModel) -> float:
     return total
 
 
-def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
+def ipet_wcet(
+    function: Function,
+    model: HardwareCostModel,
+    flow_facts: FlowFacts | None = None,
+) -> IpetResult:
     """Compute the WCET of ``function`` through the IPET linear program.
 
     Variables: execution count ``x_e`` of every CFG edge.  Block counts are
@@ -52,15 +83,25 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
     * flow conservation at every block (in-flow == out-flow);
     * the entry block executes exactly once;
     * for every loop header, the back-edge count is at most ``bound`` times
-      the count of the entry (non-back) edges into the header.
+      the count of the entry (non-back) edges into the header;
+    * with ``flow_facts``: ``x_e = 0`` for statically infeasible edges, and
+      loop bounds are tightened to ``min(declared, derived)``.
 
     Objective: maximise ``sum(block_cost * block_count)``.
     """
-    cfg = build_cfg(function)
+    # With flow facts a loop left unannotated by the front-end may still be
+    # bounded by the facts, so defer the loop-bound check to the merge below.
+    cfg = build_cfg(function, allow_unbounded=flow_facts is not None)
     edges = cfg.edges
     if not edges:
         raise IpetError(f"function {function.name!r} has an empty CFG")
-    edge_index = {id(edge): i for i, edge in enumerate(edges)}
+    edge_index: dict[tuple[int, int, str], int] = {}
+    for i, edge in enumerate(edges):
+        if edge.key in edge_index:
+            raise IpetError(
+                f"function {function.name!r} has duplicate CFG edge {edge.key}"
+            )
+        edge_index[edge.key] = i
     num_vars = len(edges)
 
     costs = {block.bid: _block_cost(block, function, model) for block in cfg.blocks}
@@ -68,7 +109,7 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
     # Objective: block count = sum of incoming edges (entry handled separately).
     c = np.zeros(num_vars)
     for edge in edges:
-        c[edge_index[id(edge)]] -= costs[edge.dst.bid]
+        c[edge_index[edge.key]] -= costs[edge.dst.bid]
     entry_cost = costs[cfg.entry.bid] if cfg.entry is not None else 0.0
 
     a_eq_rows: list[np.ndarray] = []
@@ -81,9 +122,9 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
         row = np.zeros(num_vars)
         for edge in edges:
             if edge.dst is block:
-                row[edge_index[id(edge)]] += 1.0
+                row[edge_index[edge.key]] += 1.0
             if edge.src is block:
-                row[edge_index[id(edge)]] -= 1.0
+                row[edge_index[edge.key]] -= 1.0
         a_eq_rows.append(row)
         b_eq.append(0.0)
 
@@ -91,30 +132,56 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
     row = np.zeros(num_vars)
     for edge in edges:
         if edge.src is cfg.entry:
-            row[edge_index[id(edge)]] += 1.0
+            row[edge_index[edge.key]] += 1.0
     a_eq_rows.append(row)
     b_eq.append(1.0)
 
     row = np.zeros(num_vars)
     for edge in edges:
         if edge.dst is cfg.exit:
-            row[edge_index[id(edge)]] += 1.0
+            row[edge_index[edge.key]] += 1.0
     a_eq_rows.append(row)
     b_eq.append(1.0)
+
+    # Effective loop bounds: declared, tightened/completed by flow facts.
+    effective_bounds = dict(cfg.loop_bounds)
+    if flow_facts is not None:
+        known = {block.bid for block in cfg.blocks}
+        for header_bid, bound in flow_facts.loop_bounds.items():
+            if header_bid not in known:
+                continue
+            declared = effective_bounds.get(header_bid)
+            effective_bounds[header_bid] = (
+                int(bound) if declared is None else min(declared, int(bound))
+            )
+    unbounded = sorted(set(cfg.back_edges) - set(effective_bounds))
+    if unbounded:
+        raise IpetError(
+            f"function {function.name!r}: loop header block(s) "
+            f"{', '.join(f'BB{b}' for b in unbounded)} have no declared or "
+            "derived trip-count bound"
+        )
 
     # Loop bounds: back-edge count <= bound * entry-edge count of the header.
     a_ub_rows: list[np.ndarray] = []
     b_ub: list[float] = []
-    for header_bid, bound in cfg.loop_bounds.items():
+    for header_bid, bound in effective_bounds.items():
         header = cfg.block_by_id(header_bid)
         row = np.zeros(num_vars)
         for edge in edges:
             if edge.dst is header and edge.kind == "back":
-                row[edge_index[id(edge)]] += 1.0
+                row[edge_index[edge.key]] += 1.0
             elif edge.dst is header:
-                row[edge_index[id(edge)]] -= float(bound)
+                row[edge_index[edge.key]] -= float(bound)
         a_ub_rows.append(row)
         b_ub.append(0.0)
+
+    bounds: list[tuple[float, float | None]] = [(0, None)] * num_vars
+    if flow_facts is not None:
+        for key in flow_facts.infeasible_edges:
+            i = edge_index.get(key)
+            if i is not None:
+                bounds[i] = (0, 0)
 
     result = linprog(
         c,
@@ -122,7 +189,7 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
         b_eq=np.array(b_eq),
         A_ub=np.array(a_ub_rows) if a_ub_rows else None,
         b_ub=np.array(b_ub) if b_ub else None,
-        bounds=[(0, None)] * num_vars,
+        bounds=bounds,
         method="highs",
     )
     if not result.success:
@@ -132,7 +199,7 @@ def ipet_wcet(function: Function, model: HardwareCostModel) -> IpetResult:
     # worst-case path does not reach; counts are the sum of incoming edges.
     block_counts: dict[int, float] = {block.bid: 0.0 for block in cfg.blocks}
     for edge in edges:
-        count = float(result.x[edge_index[id(edge)]])
+        count = float(result.x[edge_index[edge.key]])
         block_counts[edge.dst.bid] += count
     # The entry block executes once on function entry.  Only seed that count
     # when no edge flows into the entry: a back edge targeting the entry has

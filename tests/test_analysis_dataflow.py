@@ -1,0 +1,224 @@
+"""Tests for the dataflow framework and the three analyses built on it."""
+
+import pytest
+
+from repro.analysis import (
+    DEF_EXTERNAL,
+    DEF_UNINIT,
+    ValueRange,
+    assume,
+    dead_stores,
+    definitely_uninitialized_uses,
+    eval_range,
+    liveness,
+    reaching_definitions,
+    truth,
+    value_ranges,
+)
+from repro.analysis.value_range import INF, TOP
+from repro.ir import FunctionBuilder
+from repro.ir.cfg import build_cfg
+from repro.ir.expressions import Const, Var
+from repro.ir.types import FLOAT, INT
+
+
+def straightline():
+    fb = FunctionBuilder("straight")
+    x = fb.scalar_input("x")
+    y = fb.output_array("y", (4,))
+    a = fb.local("a")
+    fb.assign(a, x * 2.0)
+    fb.assign(fb.at(y, 0), a + 1.0)
+    return fb.build()
+
+
+def looped():
+    fb = FunctionBuilder("looped")
+    x = fb.input_array("x", (8,))
+    y = fb.output_array("y", (8,))
+    with fb.loop("i", 0, 8) as i:
+        fb.assign(fb.at(y, i), fb.at(x, i) * 2.0)
+    return fb.build()
+
+
+# ---------------------------------------------------------------------- #
+# reaching definitions
+# ---------------------------------------------------------------------- #
+class TestReachingDefinitions:
+    def test_boundary_sentinels(self):
+        func = straightline()
+        cfg = build_cfg(func)
+        result = reaching_definitions(func, cfg)
+        assert result.converged
+        at_entry = result.entry[cfg.entry.bid]
+        assert at_entry["x"] == frozenset({DEF_EXTERNAL})
+        assert at_entry["y"] == frozenset({DEF_EXTERNAL})
+        assert at_entry["a"] == frozenset({DEF_UNINIT})
+
+    def test_scalar_assign_kills_strongly(self):
+        func = straightline()
+        cfg = build_cfg(func)
+        result = reaching_definitions(func, cfg)
+        after = result.exit[cfg.entry.bid]
+        # the single assignment to `a` replaces the uninitialised sentinel
+        assert DEF_UNINIT not in after["a"]
+        assert len(after["a"]) == 1
+
+    def test_array_assign_updates_weakly(self):
+        func = straightline()
+        cfg = build_cfg(func)
+        result = reaching_definitions(func, cfg)
+        after = result.exit[cfg.entry.bid]
+        # the write to y[0] cannot kill the external definition of `y`
+        assert DEF_EXTERNAL in after["y"]
+        assert len(after["y"]) == 2
+
+    def test_use_before_def_is_reported(self):
+        fb = FunctionBuilder("ubd")
+        y = fb.output_array("y", (4,))
+        b = fb.local("b")
+        fb.assign(fb.at(y, 0), b + 1.0)
+        func = fb.build()
+        uses = definitely_uninitialized_uses(func)
+        assert [name for name, _bid in uses] == ["b"]
+
+    def test_initialised_local_is_clean(self):
+        fb = FunctionBuilder("ok")
+        y = fb.output_array("y", (4,))
+        b = fb.local("b", initial=0.0)
+        fb.assign(fb.at(y, 0), b + 1.0)
+        assert definitely_uninitialized_uses(fb.build()) == []
+
+    def test_loop_index_is_defined_by_header(self):
+        # the header defines the index, so body reads of it are not flagged
+        assert definitely_uninitialized_uses(looped()) == []
+
+    def test_partial_init_is_not_definite(self):
+        # assigned on one branch only: the read joins {sid, UNINIT}, which is
+        # a *may* problem the definite checker must not report
+        fb = FunctionBuilder("maybe")
+        x = fb.scalar_input("x")
+        y = fb.output_array("y", (4,))
+        t = fb.local("t")
+        with fb.if_then(x > 0.0):
+            fb.assign(t, 1.0)
+        fb.assign(fb.at(y, 0), t)
+        assert definitely_uninitialized_uses(fb.build()) == []
+
+
+# ---------------------------------------------------------------------- #
+# liveness
+# ---------------------------------------------------------------------- #
+class TestLiveness:
+    def test_outputs_live_at_exit(self):
+        func = straightline()
+        cfg = build_cfg(func)
+        result = liveness(func, cfg)
+        assert result.converged
+        # at the function exit every non-local is observable
+        assert {"x", "y"} <= set(result.exit[cfg.exit.bid])
+
+    def test_local_dead_after_last_read(self):
+        func = straightline()
+        cfg = build_cfg(func)
+        result = liveness(func, cfg)
+        assert "a" not in result.exit[cfg.entry.bid]
+
+    def test_dead_store_is_reported(self):
+        fb = FunctionBuilder("ds")
+        y = fb.output_array("y", (4,))
+        acc = fb.local("acc")
+        fb.assign(acc, 1.0)  # never read afterwards
+        fb.assign(fb.at(y, 0), 2.0)
+        stores = dead_stores(fb.build())
+        assert [name for name, _bid in stores] == ["acc"]
+
+    def test_unused_prefix_is_exempt(self):
+        fb = FunctionBuilder("sink")
+        y = fb.output_array("y", (4,))
+        sink = fb.local("unused_port")
+        fb.assign(sink, 1.0)
+        fb.assign(fb.at(y, 0), 2.0)
+        assert dead_stores(fb.build()) == []
+
+    def test_live_store_is_not_reported(self):
+        assert dead_stores(straightline()) == []
+
+
+# ---------------------------------------------------------------------- #
+# value ranges
+# ---------------------------------------------------------------------- #
+class TestValueRange:
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            ValueRange(3.0, 1.0)
+
+    def test_hull_and_intersect(self):
+        a, b = ValueRange(0.0, 4.0), ValueRange(2.0, 8.0)
+        assert a.hull(b) == ValueRange(0.0, 8.0)
+        assert a.intersect(b) == ValueRange(2.0, 4.0)
+        assert a.intersect(ValueRange(5.0, 6.0)) is None
+
+    def test_eval_arithmetic(self):
+        env = {"x": ValueRange(0.0, 10.0)}
+        x = Var("x", FLOAT)
+        assert eval_range(x * 2.0 + 1.0, env) == ValueRange(1.0, 21.0)
+        assert eval_range(x - x, env) == ValueRange(-10.0, 10.0)  # non-relational
+
+    def test_eval_unknown_is_top(self):
+        assert eval_range(Var("nowhere", FLOAT), {}) == TOP
+
+    def test_truth_is_tristate(self):
+        x = Var("x", FLOAT)
+        assert truth(x < Const(0.0), {"x": ValueRange(1.0, 5.0)}) is False
+        assert truth(x < Const(10.0), {"x": ValueRange(1.0, 5.0)}) is True
+        assert truth(x < Const(3.0), {"x": ValueRange(1.0, 5.0)}) is None
+
+    def test_assume_refines_and_contradicts(self):
+        x = Var("x", FLOAT)
+        env = {"x": ValueRange(0.0, 10.0)}
+        refined = assume(x < Const(3.0), True, env)
+        assert refined["x"].hi <= 3.0
+        assert assume(x < Const(-1.0), True, env) is None
+
+    def test_assume_integer_shrink(self):
+        i = Var("i", INT)
+        refined = assume(i < Const(3), True, {"i": ValueRange(0.0, 10.0)})
+        assert refined["i"] == ValueRange(0.0, 2.0)
+
+    def test_loop_index_range(self):
+        func = looped()
+        cfg = build_cfg(func)
+        result = value_ranges(func, cfg)
+        assert result.converged
+        header_bid = next(iter(cfg.loop_stmts))
+        body_bid = next(
+            e.dst.bid for e in cfg.edges if e.src.bid == header_bid and e.kind == "taken"
+        )
+        after_bid = next(
+            e.dst.bid for e in cfg.edges if e.src.bid == header_bid and e.kind == "exit"
+        )
+        assert result.entry[body_bid]["i"] == ValueRange(0.0, 7.0)
+        assert result.entry[after_bid]["i"] == ValueRange(8.0, 8.0)
+
+    def test_widening_converges_on_feedback(self):
+        # accumulate inside a loop: without widening the chain is infinite
+        fb = FunctionBuilder("acc")
+        y = fb.output_array("y", (4,))
+        s = fb.local("s", initial=0.0)
+        with fb.loop("i", 0, 8) as i:
+            fb.assign(s, s + 1.0)
+        fb.assign(fb.at(y, 0), s)
+        result = value_ranges(fb.build())
+        assert result.converged
+        assert result.iterations > 0
+
+    def test_initialised_local_seeds_range(self):
+        fb = FunctionBuilder("seeded")
+        y = fb.output_array("y", (4,))
+        n = fb.local("n", INT, initial=8)
+        fb.assign(fb.at(y, 0), n * 1.0)
+        func = fb.build()
+        cfg = build_cfg(func)
+        result = value_ranges(func, cfg)
+        assert result.entry[cfg.entry.bid]["n"] == ValueRange(8.0, 8.0)

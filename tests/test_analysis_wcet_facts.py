@@ -1,0 +1,143 @@
+"""Tests for the WCET tightener: flow facts feeding the IPET LP."""
+
+import pytest
+
+from repro.adl.platforms import generic_predictable_multicore
+from repro.analysis import derive_flow_facts, tightened_ipet_wcet
+from repro.frontend import compile_diagram
+from repro.ir import FunctionBuilder
+from repro.ir.loops import LoopBoundError
+from repro.ir.types import INT
+from repro.usecases import ALL_USECASES
+from repro.wcet import HardwareCostModel, ipet_wcet
+from repro.wcet.ipet import FlowFacts
+
+USECASES = sorted(ALL_USECASES)
+
+
+@pytest.fixture(scope="module")
+def model():
+    platform = generic_predictable_multicore()
+    return HardwareCostModel(platform, platform.cores[0].core_id)
+
+
+def branchy():
+    """A loop whose else-branch (the expensive one) is statically dead."""
+    fb = FunctionBuilder("branchy")
+    x = fb.input_array("x", (16,))
+    y = fb.output_array("y", (16,))
+    with fb.loop("i", 0, 16) as i:
+        with fb.if_then(i < 32):  # always true: i ranges over [0, 15]
+            fb.assign(fb.at(y, i), fb.at(x, i) * 2.0)
+        with fb.orelse():
+            fb.assign(fb.at(y, i), fb.call("sqrt", fb.call("exp", fb.at(x, i))))
+    return fb.build()
+
+
+class TestTighteningIsSound:
+    @pytest.mark.parametrize("usecase", USECASES)
+    def test_facts_never_loosen_usecase_bound(self, usecase, model):
+        build, _inputs = ALL_USECASES[usecase]
+        entry = compile_diagram(build()).entry
+        plain = ipet_wcet(entry, model).wcet
+        facts, report = derive_flow_facts(entry)
+        assert report.count("error") == 0
+        tight = ipet_wcet(entry, model, flow_facts=facts).wcet
+        assert tight <= plain + 1e-6
+
+    def test_branchy_function_is_strictly_tightened(self, model):
+        func = branchy()
+        plain = ipet_wcet(func, model).wcet
+        facts, report = derive_flow_facts(func)
+        assert facts.infeasible_edges  # the dead else-branch edge
+        tight = ipet_wcet(func, model, flow_facts=facts).wcet
+        assert tight < plain
+
+    def test_tightened_wrapper_agrees(self, model):
+        func = branchy()
+        facts, _report = derive_flow_facts(func)
+        direct = ipet_wcet(func, model, flow_facts=facts).wcet
+        wrapped, report = tightened_ipet_wcet(func, model)
+        assert wrapped == pytest.approx(direct)
+        assert report.checked["wcet_cycles"] == int(direct)
+
+
+class TestDerivedLoopBounds:
+    def test_unannotated_loop_is_bounded_by_facts(self, model):
+        # upper bound is a local with a known constant value: the front-end
+        # annotation machinery cannot bound it, the value-range analysis can
+        fb = FunctionBuilder("derived")
+        y = fb.output_array("y", (8,))
+        n = fb.local("n", INT, initial=8)
+        with fb.loop("i", 0, n) as i:
+            fb.assign(fb.at(y, i), 1.0)
+        func = fb.build()
+
+        # without facts the CFG build itself rejects the loop
+        with pytest.raises(LoopBoundError):
+            ipet_wcet(func, model)
+        facts, report = derive_flow_facts(func)
+        assert report.ok
+        assert report.checked.get("bounds_derived", 0) == 1
+        assert list(facts.loop_bounds.values()) == [8]
+        result = ipet_wcet(func, model, flow_facts=facts)
+        assert result.wcet > 0
+
+    def test_conservative_annotation_is_tightened(self, model):
+        fb = FunctionBuilder("tightened")
+        y = fb.output_array("y", (8,))
+        n = fb.local("n", INT, initial=8)
+        with fb.loop("i", 0, n, max_trip_count=100) as i:
+            fb.assign(fb.at(y, i), 1.0)
+        func = fb.build()
+
+        plain = ipet_wcet(func, model).wcet
+        facts, report = derive_flow_facts(func)
+        assert report.checked.get("bounds_tightened", 0) == 1
+        tight = ipet_wcet(func, model, flow_facts=facts).wcet
+        assert tight < plain
+
+    def test_exact_annotation_is_verified(self, model):
+        fb = FunctionBuilder("verified")
+        y = fb.output_array("y", (8,))
+        with fb.loop("i", 0, 8) as i:
+            fb.assign(fb.at(y, i), 1.0)
+        _facts, report = derive_flow_facts(fb.build())
+        assert report.ok
+        assert report.checked.get("bounds_verified", 0) == 1
+
+    def test_optimistic_annotation_warns(self, model):
+        # declared bound below the provable minimum trip count is unsound
+        fb = FunctionBuilder("optimistic")
+        y = fb.output_array("y", (8,))
+        with fb.loop("i", 0, 8, max_trip_count=2) as i:
+            fb.assign(fb.at(y, i), 1.0)
+        _facts, report = derive_flow_facts(fb.build())
+        codes = [f.code for f in report.findings]
+        assert "wcet.optimistic-loop-bound" in codes
+        assert all(f.severity == "warning" for f in report.findings)
+
+    def test_underivable_unannotated_loop_is_an_error(self):
+        fb = FunctionBuilder("unbounded")
+        m = fb.scalar_input("m", INT)
+        y = fb.output_array("y", (8,))
+        with fb.loop("i", 0, m) as i:
+            fb.assign(fb.at(y, 0), 1.0)
+        _facts, report = derive_flow_facts(fb.build())
+        codes = [f.code for f in report.findings]
+        assert "wcet.unbounded-loop" in codes
+
+
+class TestFlowFactsPlumbing:
+    def test_is_empty(self):
+        assert FlowFacts().is_empty
+        assert not FlowFacts(loop_bounds={3: 8}).is_empty
+
+    def test_unknown_keys_are_ignored(self, model):
+        func = branchy()
+        plain = ipet_wcet(func, model).wcet
+        bogus = FlowFacts(
+            infeasible_edges=frozenset({(997, 998, "taken")}),
+            loop_bounds={999: 1},
+        )
+        assert ipet_wcet(func, model, flow_facts=bogus).wcet == pytest.approx(plain)
