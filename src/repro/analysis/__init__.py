@@ -61,8 +61,56 @@ transitive closure of HTG dependence edges plus per-core program order;
 every cross-task conflict (write-write or read-write on a declaration in
 ``SHARED`` / ``INPUT`` / ``OUTPUT`` storage) must be ordered, else a
 ``race.*`` finding is produced before codegen.
+
+Certificate contract (proof-carrying results)
+=============================================
+
+:mod:`repro.analysis.certify` pairs each expensive claim of the flow with
+a serializable **certificate** and an **independent checker** that shares
+no code with the producer.  Certificate formats (all expose ``as_dict``
+for serialization):
+
+* :class:`~repro.analysis.certify.ScheduleCertificate` -- mapping,
+  per-core orders, per-task start/finish times, priced cross-core edge
+  delays, claimed WCET bound.  The checker re-validates structural
+  coverage, per-core exclusivity, precedence with independently re-priced
+  communication latencies, and ``wcet_bound == max finish``, directly
+  against the HTG and platform.
+* :class:`~repro.analysis.certify.IpetCertificate` -- the LP primal
+  solution (per-edge counts), block costs, effective loop bounds, pinned
+  infeasible edges and, when available, semantic dual values.  The checker
+  rebuilds the CFG and re-verifies flow conservation, unit entry/exit
+  flow, loop bounds, flow-fact pins and the recomputed objective; with
+  duals it additionally proves *optimality* via reduced-cost feasibility
+  and a zero duality gap.
+* :class:`~repro.analysis.certify.FixedPointCertificate` -- per-task
+  windows, effective/base WCETs, shared-access counts, contender counts,
+  the penalty table and edge delays.  The checker re-derives contention
+  from the claimed windows and re-applies the interference equations
+  once: any component they can still increase refutes the claimed fixed
+  point.
+
+What the checkers do **not** prove: the ground-truth inputs they carry
+verbatim (per-block cycle costs, isolated WCETs, shared-access counts --
+the hardware model's and code-level analysis' contract), tightness (slack
+is sound for upper bounds), and the soundness of declared loop bounds
+(:mod:`~repro.analysis.wcet_facts`' job).  The trust argument is
+fault-*independence*: a producer bug must be matched by a compensating
+checker bug to go unnoticed.  ``python -m repro certify`` and the
+pipeline's ``certify`` stage (``ToolchainConfig.certify``) gate on these
+checkers; cache replays re-validate via
+``system_level_wcet(..., certify=True)``.
 """
 
+from repro.analysis.certify import (
+    CertificateChain,
+    CertificationError,
+    FixedPointCertificate,
+    IpetCertificate,
+    ScheduleCertificate,
+    build_certificates,
+    certify_pipeline_result,
+)
 from repro.analysis.dataflow import (
     DataflowAnalysis,
     DataflowResult,
@@ -77,7 +125,12 @@ from repro.analysis.reaching_defs import (
     definitely_uninitialized_uses,
     reaching_definitions,
 )
-from repro.analysis.report import SEVERITIES, AnalysisReport, Finding
+from repro.analysis.report import (
+    SEVERITIES,
+    AnalysisReport,
+    Finding,
+    severity_at_least,
+)
 from repro.analysis.value_range import (
     ValueRange,
     ValueRangeAnalysis,
@@ -91,18 +144,25 @@ from repro.analysis.wcet_facts import derive_flow_facts, tightened_ipet_wcet
 
 __all__ = [
     "AnalysisReport",
+    "CertificateChain",
+    "CertificationError",
     "DataflowAnalysis",
     "DataflowResult",
     "DEF_EXTERNAL",
     "DEF_UNINIT",
     "Finding",
+    "FixedPointCertificate",
     "IRVerifierPass",
+    "IpetCertificate",
     "Liveness",
     "ReachingDefinitions",
     "SEVERITIES",
+    "ScheduleCertificate",
     "ValueRange",
     "ValueRangeAnalysis",
     "assume",
+    "build_certificates",
+    "certify_pipeline_result",
     "check_races",
     "check_schedule_races",
     "dead_stores",
@@ -112,6 +172,7 @@ __all__ = [
     "liveness",
     "reaching_definitions",
     "run_dataflow",
+    "severity_at_least",
     "tightened_ipet_wcet",
     "truth",
     "value_ranges",

@@ -1,0 +1,65 @@
+"""Proof-carrying results: certificates + independent checkers.
+
+Every expensive claim of the flow -- a schedule's WCET bound, an IPET LP
+optimum, a system-level interference fixed point -- is paired with a small
+serializable **certificate** holding enough witness data for a cheap
+**independent checker** to re-validate it in one pass.  Producer and
+checker deliberately share no code: the schedule checker works off the HTG
+and platform directly (not :meth:`Schedule.validate`), the IPET checker
+rebuilds the CFG and re-verifies feasibility *and* optimality from the LP
+witness (flow conservation, loop bounds, objective, duality), and the
+fixed-point checker re-applies the interference equations once and rejects
+any state they can still increase.
+
+The trust argument: a bug in a producer must now be *matched* by a
+compensating bug in its checker to slip through, and cache-served results
+(:func:`repro.wcet.system_level.system_level_wcet` with ``certify=True``)
+are re-validated at replay, so corrupt, stale or hand-edited cache entries
+are detected instead of silently trusted.
+
+Entry points: :func:`certify_pipeline_result` for a finished
+:class:`~repro.core.pipeline.PipelineResult` (this is what the pipeline's
+``certify`` stage and ``python -m repro certify`` call) and
+:func:`build_certificates` for a bare design point.  Rejections carry
+typed :class:`~repro.analysis.report.Finding` objects under the
+``certify.*`` code namespace; :class:`CertificationError` is raised where
+a refuted result must stop the flow.
+"""
+
+from repro.analysis.certify.chain import (
+    CertificateChain,
+    CertificationError,
+    build_certificates,
+    certify_pipeline_result,
+)
+from repro.analysis.certify.fixed_point_cert import (
+    FixedPointCertificate,
+    build_fixed_point_certificate,
+    check_fixed_point_certificate,
+)
+from repro.analysis.certify.ipet_cert import (
+    IpetCertificate,
+    build_ipet_certificate,
+    check_ipet_certificate,
+)
+from repro.analysis.certify.schedule_cert import (
+    ScheduleCertificate,
+    build_schedule_certificate,
+    check_schedule_certificate,
+)
+
+__all__ = [
+    "CertificateChain",
+    "CertificationError",
+    "FixedPointCertificate",
+    "IpetCertificate",
+    "ScheduleCertificate",
+    "build_certificates",
+    "build_fixed_point_certificate",
+    "build_ipet_certificate",
+    "build_schedule_certificate",
+    "certify_pipeline_result",
+    "check_fixed_point_certificate",
+    "check_ipet_certificate",
+    "check_schedule_certificate",
+]

@@ -1,0 +1,141 @@
+"""Certificate chains: one bundle of proof-carrying results per run.
+
+:func:`build_certificates` turns one analysed design point (schedule +
+entry function + HTG + platform) into a :class:`CertificateChain`: the
+schedule certificate, the fixed-point certificate and the IPET certificate,
+each already re-validated by its independent checker, with the three
+:class:`~repro.analysis.report.AnalysisReport` objects attached.
+:func:`certify_pipeline_result` is the pipeline-facing entry point working
+straight off a :class:`~repro.core.pipeline.PipelineResult`.
+
+A chain is *accepted* when no checker reported an error
+(:attr:`CertificateChain.ok`).  Rejections surface as typed findings --
+callers decide whether to raise (:class:`CertificationError`), gate a CI
+job, or just report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.certify.fixed_point_cert import (
+    FixedPointCertificate,
+    build_fixed_point_certificate,
+    check_fixed_point_certificate,
+)
+from repro.analysis.certify.ipet_cert import (
+    IpetCertificate,
+    build_ipet_certificate,
+    check_ipet_certificate,
+)
+from repro.analysis.certify.schedule_cert import (
+    ScheduleCertificate,
+    build_schedule_certificate,
+    check_schedule_certificate,
+)
+from repro.analysis.report import AnalysisReport, Finding
+from repro.core.exceptions import ToolchainError
+
+
+class CertificationError(ToolchainError):
+    """A certificate checker refuted a claimed result.
+
+    Carries the refuting :class:`~repro.analysis.report.AnalysisReport` (or
+    ``None`` for structural failures) so callers can surface the individual
+    findings.
+    """
+
+    def __init__(self, message: str, report: AnalysisReport | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class CertificateChain:
+    """The certificates of one analysed design point, with their verdicts."""
+
+    schedule: ScheduleCertificate
+    fixed_point: FixedPointCertificate
+    ipet: IpetCertificate
+    reports: list[AnalysisReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checker accepted (no error-severity finding)."""
+        return all(not report.count("error") for report in self.reports)
+
+    def findings(self) -> list[Finding]:
+        """All findings of all checkers, flattened."""
+        return [finding for report in self.reports for finding in report.findings]
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "certificates": [
+                self.schedule.as_dict(),
+                self.fixed_point.as_dict(),
+                self.ipet.as_dict(),
+            ],
+            "reports": [report.as_dict() for report in self.reports],
+        }
+
+
+def build_certificates(
+    schedule, function, htg, platform, flow_facts=None
+) -> CertificateChain:
+    """Build and check the full certificate chain of one design point.
+
+    ``flow_facts`` optionally feeds the IPET re-computation (pass the facts
+    the producing run used, e.g. from
+    :func:`repro.analysis.wcet_facts.derive_flow_facts`); by default the
+    plain LP is certified, which keeps certification cheap.
+    """
+    from repro.wcet.hardware_model import HardwareCostModel
+    from repro.wcet.ipet import ipet_wcet
+
+    schedule_cert = build_schedule_certificate(schedule, htg, platform)
+    schedule_report = check_schedule_certificate(schedule_cert, htg, platform)
+
+    fp_cert = build_fixed_point_certificate(
+        schedule.result, schedule.order, platform, htg
+    )
+    fp_report = check_fixed_point_certificate(fp_cert, htg, platform)
+
+    model = HardwareCostModel(platform, platform.cores[0].core_id)
+    ipet_result = ipet_wcet(function, model, flow_facts)
+    ipet_cert = build_ipet_certificate(ipet_result, function.name)
+    ipet_report = check_ipet_certificate(ipet_cert, function=function)
+
+    return CertificateChain(
+        schedule=schedule_cert,
+        fixed_point=fp_cert,
+        ipet=ipet_cert,
+        reports=[schedule_report, fp_report, ipet_report],
+    )
+
+
+def certify_pipeline_result(
+    result, platform=None, derive_facts: bool = False
+) -> CertificateChain:
+    """Certify one :class:`~repro.core.pipeline.PipelineResult`.
+
+    ``platform`` defaults to the run's own platform artifact.  With
+    ``derive_facts`` the value-range analysis re-derives flow facts for the
+    IPET certificate (stronger, costlier); the default certifies the plain
+    LP.
+    """
+    if platform is None:
+        platform = result.artifacts.get("platform")
+    if platform is None:
+        raise CertificationError(
+            "pipeline result carries no platform artifact; pass platform= explicitly"
+        )
+    function = result.model.entry
+    flow_facts = None
+    if derive_facts:
+        from repro.analysis.wcet_facts import derive_flow_facts
+
+        flow_facts, _ = derive_flow_facts(function)
+    return build_certificates(
+        result.schedule, function, result.htg, platform, flow_facts=flow_facts
+    )

@@ -21,6 +21,20 @@ from typing import Any, Iterable
 SEVERITIES = ("error", "warning", "info")
 
 
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at least as severe as ``threshold``.
+
+    The backbone of ``--fail-on`` style gates: with a threshold of
+    ``"warning"``, errors and warnings trip the gate and infos do not.
+    """
+    if severity not in SEVERITIES or threshold not in SEVERITIES:
+        raise ValueError(
+            f"severities must be one of {SEVERITIES}, "
+            f"got {severity!r} / {threshold!r}"
+        )
+    return SEVERITIES.index(severity) <= SEVERITIES.index(threshold)
+
+
 @dataclass(frozen=True)
 class Finding:
     """One fact established by a static analysis."""

@@ -25,10 +25,22 @@ generic predictable platform::
     python -m repro lint egpws polka          # a subset
     python -m repro lint examples/quickstart.py --json
 
-Targets are built-in use-case names (``egpws``, ``weaa``, ``polka``) or
-paths to Python files exposing a ``build_model() -> Diagram`` function.
-Exit status: 0 when every target is finding-free, 1 when any analysis
-produced findings (or a target failed to build), 2 for usage errors.
+``certify`` runs the proof-carrying-result layer
+(:mod:`repro.analysis.certify`): the full pipeline on the generic
+predictable platform, then the independent certificate checkers over the
+schedule, the system-level fixed point and the IPET solution (with flow
+facts re-derived)::
+
+    python -m repro certify                   # all built-in use cases
+    python -m repro certify egpws --json
+
+Both commands accept the same targets -- built-in use-case names
+(``egpws``, ``weaa``, ``polka``) or paths to Python files exposing a
+``build_model() -> Diagram`` function -- and a ``--fail-on`` severity
+threshold.  Exit status: 0 when no finding reaches the threshold, 1
+otherwise (or when a target failed to build), 2 for usage errors.  ``lint``
+defaults to ``--fail-on info`` (any finding fails, the historical
+behaviour); ``certify`` defaults to ``--fail-on warning``.
 """
 
 from __future__ import annotations
@@ -109,7 +121,7 @@ def _cmd_cache_evict(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
-# lint
+# lint / certify (shared target handling and reporting)
 # ---------------------------------------------------------------------- #
 def _builtin_lint_targets() -> dict:
     from repro.usecases import ALL_USECASES
@@ -127,6 +139,67 @@ def _load_diagram_module(path: Path):
     if build is None:
         raise ValueError(f"{path} does not define build_model()")
     return build
+
+
+def _resolve_targets(requested: list[str], command: str) -> list[tuple[str, object]] | None:
+    """Map target names/paths to diagram builders; ``None`` = usage error.
+
+    Shared by ``lint`` and ``certify`` so both commands accept exactly the
+    same target language.
+    """
+    builtins = _builtin_lint_targets()
+    requested = requested or sorted(builtins)
+    plan: list[tuple[str, object]] = []
+    for target in requested:
+        if target in builtins:
+            plan.append((target, builtins[target]))
+            continue
+        path = Path(target)
+        if path.suffix == ".py" and path.is_file():
+            try:
+                plan.append((target, _load_diagram_module(path)))
+            except Exception as exc:
+                print(f"cannot load {command} target {target}: {exc}", file=sys.stderr)
+                return None
+            continue
+        print(
+            f"unknown {command} target {target!r}: expected one of "
+            f"{', '.join(sorted(builtins))} or a path to a .py file defining "
+            "build_model()",
+            file=sys.stderr,
+        )
+        return None
+    return plan
+
+
+def _gating_findings(records: list[dict], threshold: str) -> int:
+    """Findings at or above ``threshold`` severity, across all records."""
+    from repro.analysis.report import severity_at_least
+
+    return sum(
+        1
+        for record in records
+        for report in record["reports"]
+        for finding in report["findings"]
+        if severity_at_least(finding["severity"], threshold)
+    )
+
+
+def _print_records(command: str, records: list[dict], total_findings: int) -> None:
+    for record in records:
+        status = "clean" if record["ok"] else "FINDINGS"
+        print(f"{record['target']}: {status}")
+        for report in record["reports"]:
+            counters = ", ".join(
+                f"{k}={v}" for k, v in sorted(report["checked"].items())
+            )
+            print(f"  {report['analysis']}: {len(report['findings'])} finding(s)"
+                  + (f" ({counters})" if counters else ""))
+            for finding in report["findings"]:
+                print(f"    {finding['severity']}: {finding['code']} "
+                      f"[{finding['function']}:{finding['subject']}] "
+                      f"{finding['message']}")
+    print(f"{command}: {len(records)} target(s), {total_findings} finding(s)")
 
 
 def _lint_one(target: str, build_diagram) -> dict:
@@ -163,29 +236,9 @@ def _lint_one(target: str, build_diagram) -> dict:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    builtins = _builtin_lint_targets()
-    requested = args.targets or sorted(builtins)
-    plan: list[tuple[str, object]] = []
-    for target in requested:
-        if target in builtins:
-            plan.append((target, builtins[target]))
-            continue
-        path = Path(target)
-        if path.suffix == ".py" and path.is_file():
-            try:
-                plan.append((target, _load_diagram_module(path)))
-            except Exception as exc:
-                print(f"cannot load lint target {target}: {exc}", file=sys.stderr)
-                return 2
-            continue
-        print(
-            f"unknown lint target {target!r}: expected one of "
-            f"{', '.join(sorted(builtins))} or a path to a .py file defining "
-            "build_model()",
-            file=sys.stderr,
-        )
+    plan = _resolve_targets(args.targets, "lint")
+    if plan is None:
         return 2
-
     records = [_lint_one(target, build) for target, build in plan]
     total_findings = sum(
         len(report["findings"]) for record in records for report in record["reports"]
@@ -193,21 +246,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps({"targets": records, "findings": total_findings}, indent=2))
     else:
-        for record in records:
-            status = "clean" if record["ok"] else "FINDINGS"
-            print(f"{record['target']}: {status}")
-            for report in record["reports"]:
-                counters = ", ".join(
-                    f"{k}={v}" for k, v in sorted(report["checked"].items())
-                )
-                print(f"  {report['analysis']}: {len(report['findings'])} finding(s)"
-                      + (f" ({counters})" if counters else ""))
-                for finding in report["findings"]:
-                    print(f"    {finding['severity']}: {finding['code']} "
-                          f"[{finding['function']}:{finding['subject']}] "
-                          f"{finding['message']}")
-        print(f"lint: {len(records)} target(s), {total_findings} finding(s)")
-    return 1 if total_findings else 0
+        _print_records("lint", records, total_findings)
+    return 1 if _gating_findings(records, args.fail_on) else 0
+
+
+# ---------------------------------------------------------------------- #
+# certify
+# ---------------------------------------------------------------------- #
+def _certify_one(target: str, build_diagram) -> dict:
+    """Certify one diagram's full result chain; returns a JSON-able record."""
+    from repro.adl.platforms import generic_predictable_multicore
+    from repro.analysis.certify import certify_pipeline_result
+    from repro.analysis.report import AnalysisReport, Finding
+    from repro.core.config import ToolchainConfig
+    from repro.core.exceptions import ToolchainError
+    from repro.core.pipeline import run_pipeline
+
+    try:
+        diagram = build_diagram()
+        result = run_pipeline(
+            diagram, generic_predictable_multicore(), ToolchainConfig()
+        )
+        chain = certify_pipeline_result(result, derive_facts=True)
+    except ToolchainError as exc:
+        failed = AnalysisReport("pipeline")
+        failed.add(Finding(code="pipeline.error", message=str(exc), function=target))
+        return {"target": target, "ok": False, "reports": [failed.as_dict()]}
+    return {
+        "target": target,
+        "ok": chain.ok,
+        "reports": [r.as_dict() for r in chain.reports],
+    }
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    plan = _resolve_targets(args.targets, "certify")
+    if plan is None:
+        return 2
+    records = [_certify_one(target, build) for target, build in plan]
+    total_findings = sum(
+        len(report["findings"]) for record in records for report in record["reports"]
+    )
+    if args.json:
+        print(json.dumps({"targets": records, "findings": total_findings}, indent=2))
+    else:
+        _print_records("certify", records, total_findings)
+    return 1 if _gating_findings(records, args.fail_on) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,7 +339,37 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--json", action="store_true", help="machine-readable report on stdout"
     )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="info",
+        help="minimum finding severity that makes the exit status 1 "
+        "(default: info, i.e. any finding)",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    certify = commands.add_parser(
+        "certify",
+        help="re-validate pipeline results through the independent "
+        "certificate checkers",
+    )
+    certify.add_argument(
+        "targets",
+        nargs="*",
+        help="built-in use-case names (egpws, weaa, polka) and/or paths to "
+        "Python files defining build_model(); default: all built-ins",
+    )
+    certify.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    certify.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="warning",
+        help="minimum finding severity that makes the exit status 1 "
+        "(default: warning)",
+    )
+    certify.set_defaults(func=_cmd_certify)
     return parser
 
 

@@ -57,6 +57,13 @@ class ToolchainConfig:
     #: memory for time, which is the driver's call (sweeps over repeated
     #: design points want it, one-shot runs do not care).
     stage_cache: bool = False
+    #: Run the ``certify`` pipeline stage: after the flow finishes, the
+    #: independent certificate checkers (:mod:`repro.analysis.certify`)
+    #: re-validate the schedule, the IPET solution and the system-level
+    #: fixed point, and a refuted claim aborts the run with a
+    #: ``CertificationError``.  Off by default (it re-solves the IPET LP);
+    #: CI turns it on.
+    certify: bool = False
 
     def __post_init__(self) -> None:
         # Registries are imported lazily: config is a leaf module and the
@@ -92,6 +99,10 @@ class ToolchainConfig:
         if not isinstance(self.race_check, bool):
             raise ValueError(
                 f"race_check must be a bool, got {self.race_check!r}"
+            )
+        if not isinstance(self.certify, bool):
+            raise ValueError(
+                f"certify must be a bool, got {self.certify!r}"
             )
         if self.scratchpad_capacity_bytes is not None and self.scratchpad_capacity_bytes < 1:
             raise ValueError(

@@ -218,6 +218,15 @@ class PipelineResult:
 
     # ------------------------------------------------------------------ #
     @property
+    def certificates(self):
+        """The run's :class:`~repro.analysis.certify.CertificateChain`.
+
+        ``None`` unless the run was configured with ``certify=True`` (or a
+        custom stage produced a ``certificates`` artifact).
+        """
+        return self.artifacts.get("certificates")
+
+    @property
     def system_wcet(self) -> float:
         """Guaranteed multi-core WCET bound (cycles)."""
         return self.schedule.wcet_bound
@@ -334,6 +343,38 @@ def _parallel_stage(context: PipelineContext) -> dict[str, Any]:
     )
     context.info["sync_ops"] = program.num_sync_ops
     return {"parallel_program": program}
+
+
+def _certify_stage(context: PipelineContext) -> dict[str, Any]:
+    """Re-validate the run's claims through the independent checkers.
+
+    Gated by ``config.certify``: off, the stage is a no-op producing
+    ``certificates = None`` (so the artifact always exists and downstream
+    consumers need no existence checks).  On, a refuted certificate aborts
+    the run with a :class:`~repro.analysis.certify.CertificationError`.
+    """
+    if not context.config.certify:
+        context.info["certified"] = False
+        return {"certificates": None}
+    from repro.analysis.certify import CertificationError, build_certificates
+
+    model: CompiledModel = context.artifact("transformed_model")
+    chain = build_certificates(
+        context.artifact("schedule"),
+        model.entry,
+        context.artifact("htg"),
+        context.platform,
+    )
+    context.info["certified"] = chain.ok
+    context.info["certificate_findings"] = len(chain.findings())
+    if not chain.ok:
+        raise CertificationError(
+            "certificate chain refuted the run's results: "
+            + "; ".join(
+                str(f) for f in chain.findings() if f.severity == "error"
+            ),
+        )
+    return {"certificates": chain}
 
 
 def _wcet_stage(context: PipelineContext) -> dict[str, Any]:
@@ -460,7 +501,7 @@ def _wcet_stage_key(context: PipelineContext) -> str | None:
 
 
 def default_stages() -> tuple[Stage, ...]:
-    """The six built-in stages of the Fig. 1 flow."""
+    """The seven built-in stages: the Fig. 1 flow plus the certify gate."""
     return (
         Stage(
             name="frontend",
@@ -505,6 +546,13 @@ def default_stages() -> tuple[Stage, ...]:
             produces=("sequential_bound",),
             description="sequential reference bound (system bound lives on the schedule)",
             cache_key=_wcet_stage_key,
+        ),
+        Stage(
+            name="certify",
+            run=_certify_stage,
+            consumes=("transformed_model", "htg", "schedule"),
+            produces=("certificates",),
+            description="independent certificate checkers (gated by config.certify)",
         ),
     )
 

@@ -90,6 +90,45 @@ class Schedule:
 
         return check_schedule_races(htg, self, function)
 
+    def certificate(self, htg: HierarchicalTaskGraph, platform: Platform):
+        """This schedule's claims as a serializable certificate.
+
+        See :mod:`repro.analysis.certify`; requires an analysed schedule.
+        """
+        from repro.analysis.certify import build_schedule_certificate
+
+        return build_schedule_certificate(self, htg, platform)
+
+    def certify(self, htg: HierarchicalTaskGraph, platform: Platform):
+        """Independently re-validate this schedule's timing claims.
+
+        Runs both the schedule checker and the fixed-point checker over
+        this schedule's certificates and returns the merged
+        :class:`~repro.analysis.report.AnalysisReport` -- no error-severity
+        finding means the claimed WCET bound survived independent
+        re-validation.
+        """
+        from repro.analysis.certify import (
+            build_fixed_point_certificate,
+            build_schedule_certificate,
+            check_fixed_point_certificate,
+            check_schedule_certificate,
+        )
+
+        if self.result is None:
+            raise ScheduleError("schedule has not been analysed yet")
+        report = check_schedule_certificate(
+            build_schedule_certificate(self, htg, platform), htg, platform
+        )
+        report.merge(
+            check_fixed_point_certificate(
+                build_fixed_point_certificate(self.result, self.order, platform, htg),
+                htg,
+                platform,
+            )
+        )
+        return report
+
     def gantt(self) -> str:
         """Small text Gantt chart for reports."""
         if self.result is None:
@@ -127,10 +166,18 @@ def evaluate_mapping(
     order: dict[int, list[str]] | None = None,
     scheduler: str = "",
     cache: WcetAnalysisCache | None = None,
+    certify: bool = False,
 ) -> Schedule:
-    """Run the system-level WCET analysis on a mapping and wrap it."""
+    """Run the system-level WCET analysis on a mapping and wrap it.
+
+    ``certify`` is forwarded to :func:`system_level_wcet`: a memoized
+    result replayed from the result cache is then re-validated by the
+    fixed-point certificate checker before being trusted.
+    """
     order = order or default_core_order(htg, mapping)
-    result = system_level_wcet(htg, function, platform, mapping, order, cache=cache)
+    result = system_level_wcet(
+        htg, function, platform, mapping, order, cache=cache, certify=certify
+    )
     return Schedule(
         htg_name=htg.name,
         mapping=dict(mapping),

@@ -111,6 +111,36 @@ rendering behind the fingerprints, the cost-signature composition, the
 ``WcetBreakdown`` fields, or the system-level result record.  Old versions
 are simply ignored (each lives in its own ``v<N>`` directory); never
 reinterpret them in place.
+
+Certification contract (proof-carrying results)
+-----------------------------------------------
+Two producers in this package emit witnesses for the independent checkers
+of :mod:`repro.analysis.certify`:
+
+* :func:`~repro.wcet.ipet.ipet_wcet` keeps its full LP solution on the
+  :class:`~repro.wcet.ipet.IpetResult` -- primal edge counts, block costs,
+  effective loop bounds, pinned infeasible edges and, when the solver
+  exposes marginals, *semantic* dual values (keyed by block id, never by
+  matrix row order).  The checker re-verifies feasibility against a
+  freshly rebuilt CFG and, with duals, optimality (reduced costs + zero
+  duality gap).  It does **not** re-derive the per-block cycle costs; those
+  remain the hardware model's ground truth.
+* :func:`~repro.wcet.system_level.system_level_wcet` carries the
+  per-task isolated WCETs and shared-access counts on the
+  :class:`~repro.wcet.system_level.SystemWcetResult` so the fixed-point
+  checker can re-apply the interference equations once to the reported
+  state: a valid post-fixed-point cannot increase.  The base WCETs
+  themselves are the code-level analysis' contract, not re-proved.
+
+Content addressing makes cache entries immune to *staleness*, but not to
+*corruption* (bit rot, hand edits, a writer bug).  ``certify=True``
+closes that gap: a memoized system-level result served from the result
+tier is re-validated by the fixed-point checker before being returned and
+a refuted entry raises
+:class:`~repro.analysis.certify.CertificationError` instead of being
+silently trusted.  Freshly computed results are not re-checked on this
+path -- the pipeline's ``certify`` stage (``ToolchainConfig.certify``)
+covers them.
 """
 
 from repro.wcet.hardware_model import HardwareCostModel

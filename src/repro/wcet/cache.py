@@ -170,7 +170,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: analysis, the printer rendering used for fingerprints, or the meaning of a
 #: :class:`WcetBreakdown` field changes; old versions are simply ignored on
 #: disk (each lives in its own ``v<N>`` subdirectory).
-CACHE_SCHEMA_VERSION = 1
+#: v2: system-level task rows grew from 4 to 6 elements (isolated base WCET
+#: and shared-access count appended, needed by certificate checking).
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable naming the cache directory of the process-wide
 #: shared cache (see :func:`shared_cache`).
@@ -909,6 +911,12 @@ class SystemResultCache(_ShardBackedTier):
                     interval.end,
                     result.task_effective_wcet[tid],
                     result.task_contenders[tid],
+                    # base WCET / shared accesses feed the fixed-point
+                    # certificate checker on replay; hand-built results
+                    # without them degrade to base == effective, shared == 0
+                    # (every certificate check stays sound, some lose teeth)
+                    result.task_base_wcet.get(tid, result.task_effective_wcet[tid]),
+                    result.task_shared_accesses.get(tid, 0),
                 ]
                 for tid, interval in result.task_intervals.items()
             },
@@ -938,6 +946,8 @@ class SystemResultCache(_ShardBackedTier):
             communication_cycles=float(record["communication"]),
             iterations=int(record["iterations"]),
             converged=bool(record["converged"]),
+            task_base_wcet={tid: float(row[4]) for tid, row in tasks.items()},
+            task_shared_accesses={tid: int(row[5]) for tid, row in tasks.items()},
         )
 
     @staticmethod
@@ -948,9 +958,10 @@ class SystemResultCache(_ShardBackedTier):
             if not isinstance(tasks, dict) or not isinstance(cores, dict):
                 return False
             for row in tasks.values():
-                if len(row) != 4:
+                if len(row) != 6:
                     return False
                 float(row[0]), float(row[1]), float(row[2]), int(row[3])
+                float(row[4]), int(row[5])
             for core in cores.values():
                 int(core)
             float(record["makespan"])

@@ -54,11 +54,34 @@ class FlowFacts:
 
 @dataclass
 class IpetResult:
-    """Outcome of the IPET longest-path computation."""
+    """Outcome of the IPET longest-path computation.
+
+    Beyond the bound itself the result carries the **LP witness** consumed
+    by the independent certificate checker
+    (:mod:`repro.analysis.certify.ipet_cert`) and by WCET-path reporting:
+
+    * ``edge_counts`` -- the primal solution, execution counts keyed by
+      stable edge key (``CFGEdge.key``);
+    * ``block_costs`` / ``entry_cost`` -- the per-block cycle costs the
+      objective was built from;
+    * ``loop_bounds`` -- the *effective* per-header trip bounds actually
+      constrained (declared bounds merged with flow facts);
+    * ``infeasible_edges`` -- the edge keys pinned to ``x_e = 0``;
+    * ``duals`` -- the solver's dual values as an optimality witness, keyed
+      semantically (``flow`` per interior block id, ``entry``, ``exit``,
+      ``loop`` per header id) so a checker never depends on producer row
+      order.  ``None`` when the solver does not expose marginals.
+    """
 
     wcet: float
     block_counts: dict[int, float]
     cfg: ControlFlowGraph
+    edge_counts: dict[tuple[int, int, str], float] = field(default_factory=dict)
+    block_costs: dict[int, float] = field(default_factory=dict)
+    entry_cost: float = 0.0
+    loop_bounds: dict[int, int] = field(default_factory=dict)
+    infeasible_edges: frozenset[tuple[int, int, str]] = frozenset()
+    duals: dict | None = None
 
 
 def _block_cost(block, function: Function, model: HardwareCostModel) -> float:
@@ -165,7 +188,9 @@ def ipet_wcet(
     # Loop bounds: back-edge count <= bound * entry-edge count of the header.
     a_ub_rows: list[np.ndarray] = []
     b_ub: list[float] = []
+    ub_headers: list[int] = []
     for header_bid, bound in effective_bounds.items():
+        ub_headers.append(header_bid)
         header = cfg.block_by_id(header_bid)
         row = np.zeros(num_vars)
         for edge in edges:
@@ -177,11 +202,13 @@ def ipet_wcet(
         b_ub.append(0.0)
 
     bounds: list[tuple[float, float | None]] = [(0, None)] * num_vars
+    pinned: set[tuple[int, int, str]] = set()
     if flow_facts is not None:
         for key in flow_facts.infeasible_edges:
             i = edge_index.get(key)
             if i is not None:
                 bounds[i] = (0, 0)
+                pinned.add(key)
 
     result = linprog(
         c,
@@ -208,5 +235,43 @@ def ipet_wcet(
     if block_counts[cfg.entry.bid] == 0.0:
         block_counts[cfg.entry.bid] = 1.0
 
+    # Retain the full LP witness (primal counts; duals when HiGHS exposes
+    # marginals) so an independent checker can re-verify the solution
+    # without re-solving.  Duals are keyed by block semantics, never by the
+    # producer's matrix row order: the interior-flow rows were appended in
+    # ``cfg.blocks`` order, then the entry row, then the exit row, and the
+    # inequality rows follow ``ub_headers``.
+    edge_counts = {edge.key: float(result.x[edge_index[edge.key]]) for edge in edges}
+    duals = None
+    eq_marginals = getattr(getattr(result, "eqlin", None), "marginals", None)
+    if eq_marginals is not None and len(eq_marginals) == len(b_eq):
+        interior = [
+            b.bid for b in cfg.blocks if b is not cfg.entry and b is not cfg.exit
+        ]
+        duals = {
+            "flow": {bid: float(eq_marginals[i]) for i, bid in enumerate(interior)},
+            "entry": float(eq_marginals[len(interior)]),
+            "exit": float(eq_marginals[len(interior) + 1]),
+            "loop": {},
+        }
+        ub_marginals = getattr(getattr(result, "ineqlin", None), "marginals", None)
+        if ub_marginals is not None and len(ub_marginals) == len(ub_headers):
+            duals["loop"] = {
+                bid: float(ub_marginals[i]) for i, bid in enumerate(ub_headers)
+            }
+        elif ub_headers:
+            # partial witness would make the checker's duality math wrong
+            duals = None
+
     wcet = -float(result.fun) + entry_cost
-    return IpetResult(wcet=wcet, block_counts=block_counts, cfg=cfg)
+    return IpetResult(
+        wcet=wcet,
+        block_counts=block_counts,
+        cfg=cfg,
+        edge_counts=edge_counts,
+        block_costs=costs,
+        entry_cost=entry_cost,
+        loop_bounds=dict(effective_bounds),
+        infeasible_edges=frozenset(pinned),
+        duals=duals,
+    )

@@ -37,7 +37,7 @@ bit-for-bit identical to the double loop (the test suite asserts this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.adl.architecture import Platform
@@ -73,6 +73,13 @@ class SystemWcetResult:
     communication_cycles: float
     iterations: int
     converged: bool
+    #: Per-task *isolated* WCET and worst-case shared-access count -- the
+    #: inputs of the interference equations.  Carried so the fixed-point
+    #: certificate checker (:mod:`repro.analysis.certify.fixed_point_cert`)
+    #: can re-apply the equations once without re-running the code-level
+    #: analysis.  Defaulted for results built by hand in tests.
+    task_base_wcet: dict[str, float] = field(default_factory=dict)
+    task_shared_accesses: dict[str, int] = field(default_factory=dict)
 
     def interval(self, task_id: str) -> Interval:
         return self.task_intervals[task_id]
@@ -293,6 +300,33 @@ def _pick_mhp_pass(mhp_backend: str, num_tasks: int, num_sharers: int):
     return mhp_contenders_scalar
 
 
+def _certify_replayed_result(
+    result: SystemWcetResult,
+    htg: HierarchicalTaskGraph,
+    platform: Platform,
+    order: dict[int, list[str]],
+) -> None:
+    """Reject a cache-served result the fixed-point checker refutes.
+
+    Imported lazily: the certify package depends on this module's result
+    type, and the common (non-certifying) path must not pay the import.
+    """
+    from repro.analysis.certify import (
+        CertificationError,
+        build_fixed_point_certificate,
+        check_fixed_point_certificate,
+    )
+
+    certificate = build_fixed_point_certificate(result, order, platform, htg)
+    report = check_fixed_point_certificate(certificate, htg, platform)
+    if report.count("error"):
+        raise CertificationError(
+            "memoized system-level result failed certification on replay: "
+            + "; ".join(str(f) for f in report.findings if f.severity == "error"),
+            report=report,
+        )
+
+
 def system_level_wcet(
     htg: HierarchicalTaskGraph,
     function: Function,
@@ -304,6 +338,7 @@ def system_level_wcet(
     cache: "WcetAnalysisCache | None" = None,
     mhp_backend: str = "auto",
     result_cache: "SystemResultCache | None | bool" = None,
+    certify: bool = False,
 ) -> SystemWcetResult:
     """Contention-aware multi-core WCET of a mapped and ordered HTG.
 
@@ -321,6 +356,14 @@ def system_level_wcet(
     and MHP-backend benchmarks want the recomputation, not the memo).
     ``mhp_backend`` is not part of the result key -- the backends are
     interchangeable by construction.
+
+    ``certify`` guards the cache-replay path: a memoized result served from
+    the result tier is re-validated by the independent fixed-point
+    certificate checker (:mod:`repro.analysis.certify`) before it is
+    returned, so a corrupt, stale or hand-edited cache entry raises
+    :class:`~repro.analysis.certify.CertificationError` instead of being
+    silently trusted.  Freshly computed results are returned as-is (the
+    pipeline's ``certify`` stage covers them).
     """
     # validate the backend up front: a warm result-cache hit returns early,
     # and error behaviour must not depend on the cache state
@@ -362,6 +405,8 @@ def system_level_wcet(
         )
         memoized = result_cache.get(result_key)
         if memoized is not None:
+            if certify:
+                _certify_replayed_result(memoized, htg, platform, order)
             return memoized
     base_wcet: dict[str, float] = {}
     shared_accesses: dict[str, int] = {}
@@ -429,6 +474,8 @@ def system_level_wcet(
         communication_cycles=communication,
         iterations=iterations,
         converged=converged,
+        task_base_wcet=dict(base_wcet),
+        task_shared_accesses=dict(shared_accesses),
     )
     if result_cache:
         result_cache.put(result_key, result)

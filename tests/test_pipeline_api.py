@@ -195,10 +195,12 @@ class TestPipelineStages:
             "schedule",
             "parallel",
             "wcet",
+            "certify",
         ]
         assert all(r.seconds >= 0 for r in result.stage_records)
         assert set(result.timings) == {
             "frontend", "transforms", "htg", "schedule", "parallel", "wcet",
+            "certify",
         }
         # typed artifacts of the run are all retained
         for name in ("model", "transformed_model", "htg", "schedule",

@@ -229,7 +229,7 @@ class TestSystemResultCache:
             "converged": True,
             "interference": 0.0,
             "communication": 0.0,
-            "tasks": {"t": [0.0, 1.0, 1.0, 0]},
+            "tasks": {"t": [0.0, 1.0, 1.0, 0, 1.0, 0]},
             "cores": {"t": 0},
         }
         lines = [

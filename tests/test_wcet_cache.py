@@ -430,7 +430,12 @@ class TestDiskPersistence:
         assert len(cache) == 1  # the content-addressed entry itself stays
 
     def test_shared_cache_honours_env_var(self, tmp_path, monkeypatch):
-        from repro.wcet.cache import CACHE_DIR_ENV_VAR, reset_shared_cache, shared_cache
+        from repro.wcet.cache import (
+            CACHE_DIR_ENV_VAR,
+            CACHE_SCHEMA_VERSION,
+            reset_shared_cache,
+            shared_cache,
+        )
 
         cache_dir = tmp_path / "shared"
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(cache_dir))
@@ -442,7 +447,8 @@ class TestDiskPersistence:
             self._analyze_all(cache)
         finally:
             reset_shared_cache()  # flushes, then detaches from the env var
-        assert list((cache_dir / "v1").glob("entries*.jsonl"))
+        versioned = cache_dir / f"v{CACHE_SCHEMA_VERSION}"
+        assert list(versioned.glob("entries*.jsonl"))
         monkeypatch.delenv(CACHE_DIR_ENV_VAR)
         reset_shared_cache()
         assert shared_cache().cache_dir is None
