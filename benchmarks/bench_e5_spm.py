@@ -6,7 +6,6 @@ memories managed by the compiler give tighter WCETs than shared-memory-only
 and reports the single-core WCET of the POLKA step function.
 """
 
-import pytest
 
 from benchmarks._common import emit
 from repro.adl.platforms import generic_predictable_multicore

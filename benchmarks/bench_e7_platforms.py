@@ -10,7 +10,6 @@ platform families -- executed as one design-space sweep through
 
 from functools import partial
 
-import pytest
 
 from benchmarks._common import emit
 from repro.adl.platforms import (

@@ -9,7 +9,6 @@ synthetic task graphs.
 
 import time
 
-import pytest
 
 from benchmarks._common import emit
 from repro.adl.platforms import generic_predictable_multicore

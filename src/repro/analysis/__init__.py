@@ -62,6 +62,48 @@ every cross-task conflict (write-write or read-write on a declaration in
 ``SHARED`` / ``INPUT`` / ``OUTPUT`` storage) must be ordered, else a
 ``race.*`` finding is produced before codegen.
 
+Incremental re-analysis contract
+================================
+
+:mod:`repro.analysis.incremental` turns one finished run into a reusable
+**analysis dependency graph**: per-stage *input frontiers* (digests of
+everything a stage consumes -- diagram/function/region fingerprints, the
+HTG structure digest, the platform cost signature, the config digest) plus
+the per-region code fingerprints.  The rules:
+
+* **A frontier match proves reuse.**  A stage may be replayed from the
+  previous run exactly when its input frontier is byte-identical; an
+  unfingerprintable input (``None`` frontier) can never prove reuse and
+  forces a re-run.  The frontiers deliberately over-approximate, so the
+  engine errs only towards recomputing.
+* **Code-level facts key on the function fingerprint.**  The dataflow /
+  lint / flow-facts analyses are pure functions of one IR function's
+  content; :class:`~repro.analysis.incremental.IncrementalAnalysisStore`
+  replays their reports verbatim for unchanged fingerprints with every
+  finding's provenance set to ``reused`` (see
+  :data:`~repro.analysis.report.PROVENANCES`).
+* **Race pairs re-check only changed endpoints.**
+  :func:`~repro.analysis.races.incremental_race_check` reuses the
+  transitive closure when the happens-before relation and task universe
+  are equal, and re-scans only pairs with a changed endpoint; clean-pair
+  findings are replayed as ``reused``.  Any guard mismatch falls back to
+  the full scan.
+* **Warm starts must be proved, not trusted.**  The system-level fixed
+  point may be seeded from a previous converged result
+  (:func:`repro.wcet.system_level.warm_start_hint`), but a warm-seeded
+  result is only returned after the independent
+  :class:`~repro.analysis.certify.FixedPointCertificate` checker accepts
+  it; a refutation or non-convergence silently falls back to the cold
+  iteration.  Soundness therefore never rests on the seed.
+* **Bit-identity is the acceptance bar.**  ``Pipeline.run_incremental``
+  must produce results bit-identical to a cold run of the edited model;
+  the property tests drive random edit scripts
+  (:mod:`repro.usecases.workloads`) to enforce exactly that.
+
+``python -m repro diff <old> <new>`` prints the fingerprint diff and the
+minimal invalidation set between two models without running the dirty
+stages.
+
 Certificate contract (proof-carrying results)
 =============================================
 
@@ -116,8 +158,21 @@ from repro.analysis.dataflow import (
     DataflowResult,
     run_dataflow,
 )
+from repro.analysis.incremental import (
+    FingerprintDiff,
+    IncrementalAnalysisStore,
+    IncrementalReport,
+    diagram_fingerprint,
+    diff_summaries,
+    summarize_result,
+)
 from repro.analysis.liveness import Liveness, dead_stores, liveness
-from repro.analysis.races import check_races, check_schedule_races
+from repro.analysis.races import (
+    RaceCheckState,
+    check_races,
+    check_schedule_races,
+    incremental_race_check,
+)
 from repro.analysis.reaching_defs import (
     DEF_EXTERNAL,
     DEF_UNINIT,
@@ -151,10 +206,14 @@ __all__ = [
     "DEF_EXTERNAL",
     "DEF_UNINIT",
     "Finding",
+    "FingerprintDiff",
     "FixedPointCertificate",
     "IRVerifierPass",
+    "IncrementalAnalysisStore",
+    "IncrementalReport",
     "IpetCertificate",
     "Liveness",
+    "RaceCheckState",
     "ReachingDefinitions",
     "SEVERITIES",
     "ScheduleCertificate",
@@ -168,11 +227,15 @@ __all__ = [
     "dead_stores",
     "definitely_uninitialized_uses",
     "derive_flow_facts",
+    "diagram_fingerprint",
+    "diff_summaries",
     "eval_range",
+    "incremental_race_check",
     "liveness",
     "reaching_definitions",
     "run_dataflow",
     "severity_at_least",
+    "summarize_result",
     "tightened_ipet_wcet",
     "truth",
     "value_ranges",

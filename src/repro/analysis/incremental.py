@@ -1,0 +1,431 @@
+"""Incremental re-analysis engine: fingerprint-keyed dependency tracking.
+
+The PR 1/4 caches make *identical* inputs free; this module makes *nearly
+identical* inputs nearly free.  It records, per pipeline run, an **analysis
+dependency graph**: which content-addressed artifacts every stage consumed
+(function/region fingerprints, the HTG structure digest, the platform cost
+signature, the config digest) and which facts it produced.  Given a second
+model, it computes a fingerprint diff and the minimal invalidation set by
+walking that graph -- a stage is dirty exactly when its *input frontier*
+(the digests of everything it consumes) changed.
+
+The consumers are layered:
+
+* :meth:`repro.core.pipeline.PipelineResult.artifact_summary` serializes the
+  graph of a finished run (via :func:`summarize_result`);
+* :meth:`repro.core.pipeline.Pipeline.run_incremental` replays stages whose
+  frontier is unchanged, re-extracts only changed HTG regions, re-checks only
+  race pairs with a changed endpoint, and warm-starts the interference fixed
+  point (certificate-checked, see :mod:`repro.wcet.system_level`);
+* :class:`IncrementalAnalysisStore` replays code-level
+  :class:`~repro.analysis.report.AnalysisReport` findings for functions whose
+  fingerprints are unchanged, with provenance marked ``reused``;
+* ``python -m repro diff <old> <new>`` prints the invalidation frontier.
+
+What dirties what (the dependency contract)
+-------------------------------------------
+
+================  ====================================================
+stage             input frontier (a change to any entry dirties it)
+================  ====================================================
+``frontend``      diagram fingerprint
+``transforms``    diagram fingerprint, config digest
+``htg``           function fingerprint, extraction knobs, platform sig
+``schedule``      function fp, HTG digest, platform sig, config digest,
+                  scheduler implementation identity
+``parallel``      function fp, HTG digest, schedule digest, platform
+                  sig, config digest
+``wcet``          function fp, platform sig, config digest, schedule
+                  digest
+``certify``       function fp, HTG digest, schedule digest, platform
+                  sig, config digest
+================  ====================================================
+
+The frontiers deliberately over-approximate (the whole config digest stands
+in for the knobs a stage actually reads), so a frontier match *proves* the
+stage's inputs unchanged while a mismatch merely re-runs work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.analysis.report import AnalysisReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import PipelineResult
+    from repro.model.diagram import Diagram
+    from repro.wcet.cache import WcetAnalysisCache
+
+#: Version stamp of the :func:`summarize_result` dict layout.
+SUMMARY_VERSION = 1
+
+#: The stages the incremental engine knows the input frontiers of.
+TRACKED_STAGES = (
+    "frontend",
+    "transforms",
+    "htg",
+    "schedule",
+    "parallel",
+    "wcet",
+    "certify",
+)
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha1(
+        json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+
+
+def diagram_fingerprint(diagram: "Diagram") -> str:
+    """Content fingerprint of a model diagram.
+
+    Covers everything :func:`repro.frontend.compile_diagram` reads: block
+    names, kinds, port shapes, numeric parameters, behaviour scripts and
+    initial state, plus the connection list and the external port marks.
+    Array-valued parameters and state are digested by value, so editing one
+    FIR tap changes the fingerprint.
+    """
+    blocks = []
+    for name in sorted(diagram.blocks):
+        block = diagram.blocks[name]
+        blocks.append(
+            [
+                name,
+                block.kind,
+                [[p.name, list(p.shape)] for p in block.inputs],
+                [[p.name, list(p.shape)] for p in block.outputs],
+                sorted((k, str(v)) for k, v in block.params.items()),
+                block.behavior,
+                sorted((k, str(v)) for k, v in block.state.items()),
+            ]
+        )
+    payload = [
+        blocks,
+        sorted(
+            [c.src_block, c.src_port, c.dst_block, c.dst_port]
+            for c in diagram.connections
+        ),
+        sorted(diagram.external_inputs),
+        sorted(diagram.external_outputs),
+    ]
+    return _digest(payload)
+
+
+def stage_input_frontiers(fingerprints: Mapping[str, Any]) -> dict[str, str | None]:
+    """The per-stage input-frontier keys of the dependency graph.
+
+    ``fingerprints`` carries the global content digests of one run (keys
+    ``diagram``, ``platform``, ``config``, ``function``, ``extraction``,
+    ``htg``, ``schedule``, ``scheduler``).  A frontier is ``None`` -- never
+    comparable, so the stage always re-runs -- when any of its components is
+    missing or unfingerprintable (e.g. a platform carrying callables).
+    """
+    fp = dict(fingerprints)
+
+    def key(stage: str, *parts: str) -> str | None:
+        values = [fp.get(part) for part in parts]
+        if any(v is None for v in values):
+            return None
+        return "|".join([stage, *[str(v) for v in values]])
+
+    return {
+        "frontend": key("frontend", "diagram"),
+        "transforms": key("transforms", "diagram", "config"),
+        "htg": key("htg", "function", "extraction", "platform"),
+        "schedule": key(
+            "schedule", "function", "htg", "platform", "config", "scheduler"
+        ),
+        "parallel": key(
+            "parallel", "function", "htg", "schedule", "platform", "config"
+        ),
+        "wcet": key("wcet", "function", "platform", "config", "schedule"),
+        "certify": key(
+            "certify", "function", "htg", "schedule", "platform", "config"
+        ),
+    }
+
+
+def summarize_result(
+    result: "PipelineResult", cache: "WcetAnalysisCache | None" = None
+) -> dict[str, Any]:
+    """The analysis dependency graph of a finished run, as a JSON-able dict.
+
+    Records the global content fingerprints, the per-region code
+    fingerprints, the per-stage input frontiers and what each stage
+    consumed/produced -- everything :func:`diff_summaries` and
+    :meth:`~repro.core.pipeline.Pipeline.run_incremental` need to decide
+    what a second model invalidates.
+    """
+    from repro.core.pipeline import (
+        _config_digest,
+        _htg_fingerprint_of,
+        _schedule_digest,
+        _scheduler_identity,
+    )
+    from repro.wcet.cache import platform_signature, shared_cache
+
+    cache = cache if cache is not None else shared_cache()
+    diagram = result.artifacts.get("diagram")
+    platform = result.artifacts.get("platform")
+    model = result.model
+    regions = {
+        name: cache.region_fingerprint(block) for name, block in model.block_regions
+    }
+    fingerprints: dict[str, Any] = {
+        "diagram": diagram_fingerprint(diagram) if diagram is not None else None,
+        "platform": platform_signature(platform) if platform is not None else None,
+        "config": _config_digest(result.config),
+        "function": cache.function_fingerprint(model.entry),
+        "extraction": _digest(
+            [result.config.granularity, result.config.loop_chunks]
+        ),
+        "htg": _htg_fingerprint_of(result.htg, cache),
+        "schedule": _schedule_digest(result.schedule),
+        "scheduler": _scheduler_identity(result.config.scheduler),
+    }
+    stages = []
+    for record in result.stage_records:
+        stages.append(
+            {
+                "name": record.name,
+                "seconds": record.seconds,
+                "produced": list(record.produced),
+                "info": {
+                    k: v
+                    for k, v in record.info.items()
+                    if isinstance(v, (str, int, float, bool))
+                },
+            }
+        )
+    return {
+        "version": SUMMARY_VERSION,
+        "diagram_name": result.diagram_name,
+        "platform_name": result.platform_name,
+        "fingerprints": fingerprints,
+        "regions": regions,
+        "frontiers": stage_input_frontiers(fingerprints),
+        "stages": stages,
+    }
+
+
+@dataclass(frozen=True)
+class FingerprintDiff:
+    """What changed between two runs' artifact summaries."""
+
+    #: Global fingerprint keys whose values differ (or are uncomparable).
+    changed_globals: tuple[str, ...]
+    changed_regions: tuple[str, ...]
+    added_regions: tuple[str, ...]
+    removed_regions: tuple[str, ...]
+    unchanged_regions: tuple[str, ...]
+    #: Stages whose input frontier changed (minimal invalidation set).
+    dirty_stages: tuple[str, ...]
+    clean_stages: tuple[str, ...]
+
+    @property
+    def nothing_changed(self) -> bool:
+        return not self.dirty_stages and not self.changed_globals
+
+    @property
+    def everything_changed(self) -> bool:
+        return not self.clean_stages
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "changed_globals": list(self.changed_globals),
+            "changed_regions": list(self.changed_regions),
+            "added_regions": list(self.added_regions),
+            "removed_regions": list(self.removed_regions),
+            "unchanged_regions": len(self.unchanged_regions),
+            "dirty_stages": list(self.dirty_stages),
+            "clean_stages": list(self.clean_stages),
+        }
+
+
+def diff_summaries(
+    old: Mapping[str, Any], new: Mapping[str, Any]
+) -> FingerprintDiff:
+    """Fingerprint diff + minimal invalidation set between two summaries.
+
+    Walks the dependency graph: a stage lands in ``dirty_stages`` exactly
+    when its input frontier differs between the two runs (a ``None``
+    frontier on either side counts as different -- unfingerprintable inputs
+    can never prove reuse valid).
+    """
+    old_fp = dict(old.get("fingerprints", {}))
+    new_fp = dict(new.get("fingerprints", {}))
+    changed_globals = tuple(
+        sorted(
+            key
+            for key in set(old_fp) | set(new_fp)
+            if old_fp.get(key) is None
+            or new_fp.get(key) is None
+            or old_fp.get(key) != new_fp.get(key)
+        )
+    )
+    old_regions = dict(old.get("regions", {}))
+    new_regions = dict(new.get("regions", {}))
+    changed = tuple(
+        sorted(
+            name
+            for name in set(old_regions) & set(new_regions)
+            if old_regions[name] != new_regions[name]
+        )
+    )
+    added = tuple(sorted(set(new_regions) - set(old_regions)))
+    removed = tuple(sorted(set(old_regions) - set(new_regions)))
+    unchanged = tuple(
+        sorted(
+            name
+            for name in set(old_regions) & set(new_regions)
+            if old_regions[name] == new_regions[name]
+        )
+    )
+    old_frontiers = dict(old.get("frontiers", {}))
+    new_frontiers = dict(new.get("frontiers", {}))
+    dirty = []
+    clean = []
+    for stage in TRACKED_STAGES:
+        a, b = old_frontiers.get(stage), new_frontiers.get(stage)
+        if a is None or b is None or a != b:
+            dirty.append(stage)
+        else:
+            clean.append(stage)
+    return FingerprintDiff(
+        changed_globals=changed_globals,
+        changed_regions=changed,
+        added_regions=added,
+        removed_regions=removed,
+        unchanged_regions=unchanged,
+        dirty_stages=tuple(dirty),
+        clean_stages=tuple(clean),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# code-level report replay
+# ---------------------------------------------------------------------- #
+def mark_reused(report: AnalysisReport) -> AnalysisReport:
+    """A copy of ``report`` with every finding's provenance set to ``reused``."""
+    checked = dict(report.checked)
+    checked["reused"] = 1
+    return AnalysisReport(
+        analysis=report.analysis,
+        findings=[replace(f, provenance="reused") for f in report.findings],
+        checked=checked,
+    )
+
+
+class IncrementalAnalysisStore:
+    """Function-fingerprint-keyed store of code-level analysis reports.
+
+    The dataflow/lint/flow-facts analyses are pure functions of one IR
+    function's content, so their reports can be replayed verbatim for any
+    function whose fingerprint is unchanged.  ``reports_for`` returns the
+    stored reports with provenance marked ``reused``; a miss returns
+    ``None`` and the caller re-analyses (then calls :meth:`record`).
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, list[AnalysisReport]] = {}
+
+    def record(self, fingerprint: str, reports: Iterable[AnalysisReport]) -> None:
+        self._entries[fingerprint] = list(reports)
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+
+    def reports_for(self, fingerprint: str) -> list[AnalysisReport] | None:
+        stored = self._entries.get(fingerprint)
+        if stored is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [mark_reused(report) for report in stored]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------- #
+# per-run reuse accounting
+# ---------------------------------------------------------------------- #
+@dataclass
+class IncrementalReport:
+    """What one :meth:`Pipeline.run_incremental` call reused vs recomputed."""
+
+    #: stage name -> ``"reused"`` (replayed from the previous run),
+    #: ``"incremental"`` (re-ran with sub-stage reuse) or ``"recomputed"``.
+    stages: dict[str, str] = field(default_factory=dict)
+    diff: FingerprintDiff | None = None
+    #: Regions whose task decomposition / code-level facts were reused.
+    regions_reused: int = 0
+    regions_recomputed: int = 0
+    #: Race-check pair accounting (when the parallel stage ran).
+    race_pairs_reused: int = 0
+    race_pairs_checked: int = 0
+    #: ``warm_info`` of the system fixed point, when one ran warm.
+    warm_fixed_point: dict | None = None
+    #: Set when the engine bailed out to a plain cold run.
+    fallback_reason: str | None = None
+
+    @property
+    def stages_reused(self) -> int:
+        return sum(1 for v in self.stages.values() if v == "reused")
+
+    @property
+    def stages_recomputed(self) -> int:
+        return sum(1 for v in self.stages.values() if v != "reused")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "stages": dict(self.stages),
+            "stages_reused": self.stages_reused,
+            "stages_recomputed": self.stages_recomputed,
+            "diff": self.diff.as_dict() if self.diff is not None else None,
+            "regions_reused": self.regions_reused,
+            "regions_recomputed": self.regions_recomputed,
+            "race_pairs_reused": self.race_pairs_reused,
+            "race_pairs_checked": self.race_pairs_checked,
+            "warm_fixed_point": self.warm_fixed_point,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    def render(self) -> str:
+        """Human-readable invalidation frontier for the ``diff`` CLI."""
+        lines = []
+        if self.fallback_reason:
+            lines.append(f"fallback to cold run: {self.fallback_reason}")
+        if self.diff is not None:
+            d = self.diff
+            lines.append(
+                "changed functions: "
+                + (", ".join(d.changed_regions) if d.changed_regions else "(none)")
+            )
+            if d.added_regions:
+                lines.append("added functions: " + ", ".join(d.added_regions))
+            if d.removed_regions:
+                lines.append("removed functions: " + ", ".join(d.removed_regions))
+            lines.append(f"unchanged functions: {len(d.unchanged_regions)}")
+        for stage in TRACKED_STAGES:
+            status = self.stages.get(stage)
+            if status is not None:
+                lines.append(f"stage {stage:<10} {status}")
+        lines.append(
+            f"facts: {self.regions_reused} region(s) reused, "
+            f"{self.regions_recomputed} recomputed; "
+            f"race pairs {self.race_pairs_reused} reused, "
+            f"{self.race_pairs_checked} rechecked"
+        )
+        if self.warm_fixed_point is not None:
+            lines.append(f"fixed point: {self.warm_fixed_point}")
+        return "\n".join(lines)

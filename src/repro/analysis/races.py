@@ -18,9 +18,31 @@ creates them to write *disjoint index slices* of the same buffers, which
 the name-granular read/write sets cannot express.  That exemption is the
 single trusted assumption of the checker and mirrors the one the HTG
 builder itself makes when it omits dependence edges between chunks.
+
+Incremental re-checking
+-----------------------
+
+:func:`incremental_race_check` additionally returns a
+:class:`RaceCheckState` snapshot (happens-before relation, its transitive
+closure, the shared-name universe, and the findings).  On a later run over
+an *edited* model it accepts the previous state plus the set of tasks whose
+content fingerprints changed, and re-derives only what the edit can affect:
+
+* the closure is reused verbatim when the happens-before relation and task
+  universe are unchanged (the closure is a pure function of those inputs);
+* with the closure reused and an identical shared-name universe, the
+  verdict of a pair of *unchanged* tasks is a pure function of unchanged
+  inputs (their read/write sets, kinds and parents, and the closure), so
+  only pairs with at least one changed endpoint are re-scanned; previous
+  findings for clean pairs are replayed with provenance ``reused``.
+
+Any mismatch in the guard inputs falls back to the full scan, so the
+incremental path can never be *less* sound than the cold one.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, replace
 
 from repro.analysis.report import AnalysisReport, Finding
 from repro.htg.graph import HierarchicalTaskGraph
@@ -42,6 +64,162 @@ def _chunk_siblings(a: Task, b: Task) -> bool:
     )
 
 
+@dataclass(frozen=True)
+class RaceCheckState:
+    """Reusable snapshot of one race-check run.
+
+    The closure is by far the dominant cost of the check (networkx
+    transitive closure over every task); it depends only on
+    ``happens_before`` and the task universe, both recorded here so a
+    later run can prove reuse valid by equality.
+    """
+
+    #: HTG dependence edges plus per-core program-order pairs.
+    happens_before: frozenset[tuple[str, str]]
+    #: Transitive closure of ``happens_before`` over ``graph_task_ids``.
+    ordered: frozenset[tuple[str, str]]
+    #: Every task in the HTG the closure was computed over.
+    graph_task_ids: frozenset[str]
+    #: The mapped tasks that were pair-scanned.
+    scanned_task_ids: frozenset[str]
+    #: Shared-variable universe the conflict test used.
+    shared_names: frozenset[str]
+    #: Findings of the scan (keyed by their ``a<->b`` subject on replay).
+    findings: tuple[Finding, ...]
+
+
+def _happens_before_pairs(
+    htg: HierarchicalTaskGraph, order: dict[int, list[str]]
+) -> frozenset[tuple[str, str]]:
+    pairs: set[tuple[str, str]] = set(htg.edge_pairs())
+    for core_tasks in order.values():
+        for earlier, later in zip(core_tasks, core_tasks[1:]):
+            pairs.add((earlier, later))
+    return frozenset(pairs)
+
+
+def _scan_pair(
+    a: Task,
+    b: Task,
+    ordered: frozenset[tuple[str, str]],
+    shared_names: frozenset[str],
+    mapping: dict[str, int],
+    function: Function,
+    report: AnalysisReport,
+) -> None:
+    report.bump("pairs_checked")
+    if (a.task_id, b.task_id) in ordered or (b.task_id, a.task_id) in ordered:
+        report.bump("pairs_ordered")
+        return
+    if _chunk_siblings(a, b):
+        report.bump("chunk_pairs_exempt")
+        return
+    write_write = a.writes & b.writes & shared_names
+    write_read = (a.writes & b.reads | a.reads & b.writes) & shared_names
+    if not write_write and not write_read:
+        report.bump("pairs_disjoint")
+        return
+    conflict = sorted(write_write | write_read)
+    kind = "write-write" if write_write else "write-read"
+    report.add(
+        Finding(
+            code=f"race.{kind}",
+            message=(
+                f"tasks {a.task_id!r} (core {mapping[a.task_id]}) and "
+                f"{b.task_id!r} (core {mapping[b.task_id]}) access shared "
+                f"variable(s) {', '.join(conflict)} without a "
+                "happens-before ordering"
+            ),
+            function=function.name,
+            subject=f"{a.task_id}<->{b.task_id}",
+        )
+    )
+
+
+def incremental_race_check(
+    htg: HierarchicalTaskGraph,
+    mapping: dict[str, int],
+    order: dict[int, list[str]],
+    function: Function,
+    prev_state: RaceCheckState | None = None,
+    changed_tasks: set[str] | None = None,
+) -> tuple[AnalysisReport, RaceCheckState]:
+    """Race check with optional reuse of a previous run's state.
+
+    ``changed_tasks`` is the set of task ids whose *content* differs from
+    the run that produced ``prev_state`` (new tasks included).  Pass
+    ``None`` to force a full scan even when the closure is reusable.
+    Replayed findings keep the core numbers of the run they came from.
+    """
+    report = AnalysisReport("race_checker")
+    shared_names = frozenset(
+        d.name for d in function.all_decls() if d.storage in SHARED_STORAGE
+    )
+    tasks = [t for t in htg.leaf_tasks() if t.task_id in mapping]
+    task_ids = frozenset(t.task_id for t in tasks)
+    report.bump("tasks", len(tasks))
+    report.bump("shared_variables", len(shared_names))
+
+    graph_task_ids = frozenset(htg.tasks.keys())
+    happens_before = _happens_before_pairs(htg, order)
+    reuse_closure = (
+        prev_state is not None
+        and happens_before == prev_state.happens_before
+        and graph_task_ids == prev_state.graph_task_ids
+    )
+    if reuse_closure:
+        assert prev_state is not None
+        ordered = prev_state.ordered
+        report.bump("closure_reused")
+    else:
+        ordered = frozenset(transitive_closure(htg.tasks.keys(), happens_before))
+
+    skip_clean_pairs = (
+        reuse_closure
+        and changed_tasks is not None
+        and prev_state is not None
+        and shared_names == prev_state.shared_names
+        and task_ids == prev_state.scanned_task_ids
+    )
+    if skip_clean_pairs:
+        assert prev_state is not None and changed_tasks is not None
+        changed = {tid for tid in changed_tasks if tid in task_ids}
+        index = {t.task_id: i for i, t in enumerate(tasks)}
+        # Scan only pairs with >=1 changed endpoint; replay the rest.
+        for a in tasks:
+            if a.task_id not in changed:
+                continue
+            ia = index[a.task_id]
+            for b in tasks:
+                if b.task_id == a.task_id:
+                    continue
+                ib = index[b.task_id]
+                if b.task_id in changed and ib < ia:
+                    continue  # the (b, a) iteration covers this pair
+                first, second = (b, a) if ib < ia else (a, b)
+                _scan_pair(first, second, ordered, shared_names, mapping, function, report)
+        total_pairs = len(tasks) * (len(tasks) - 1) // 2
+        report.bump("pairs_reused", total_pairs - report.checked.get("pairs_checked", 0))
+        for finding in prev_state.findings:
+            a_id, _, b_id = finding.subject.partition("<->")
+            if a_id not in changed and b_id not in changed:
+                report.add(replace(finding, provenance="reused"))
+    else:
+        for i, a in enumerate(tasks):
+            for b in tasks[i + 1:]:
+                _scan_pair(a, b, ordered, shared_names, mapping, function, report)
+
+    state = RaceCheckState(
+        happens_before=happens_before,
+        ordered=ordered,
+        graph_task_ids=graph_task_ids,
+        scanned_task_ids=task_ids,
+        shared_names=shared_names,
+        findings=tuple(report.findings),
+    )
+    return report, state
+
+
 def check_races(
     htg: HierarchicalTaskGraph,
     mapping: dict[str, int],
@@ -49,49 +227,7 @@ def check_races(
     function: Function,
 ) -> AnalysisReport:
     """Prove every conflicting cross-core task pair ordered, or report races."""
-    report = AnalysisReport("race_checker")
-    shared_names = {
-        d.name for d in function.all_decls() if d.storage in SHARED_STORAGE
-    }
-    tasks = [t for t in htg.leaf_tasks() if t.task_id in mapping]
-    report.bump("tasks", len(tasks))
-    report.bump("shared_variables", len(shared_names))
-
-    happens_before: set[tuple[str, str]] = set(htg.edge_pairs())
-    for core_tasks in order.values():
-        for earlier, later in zip(core_tasks, core_tasks[1:]):
-            happens_before.add((earlier, later))
-    ordered = transitive_closure(htg.tasks.keys(), happens_before)
-
-    for i, a in enumerate(tasks):
-        for b in tasks[i + 1:]:
-            report.bump("pairs_checked")
-            if (a.task_id, b.task_id) in ordered or (b.task_id, a.task_id) in ordered:
-                report.bump("pairs_ordered")
-                continue
-            if _chunk_siblings(a, b):
-                report.bump("chunk_pairs_exempt")
-                continue
-            write_write = a.writes & b.writes & shared_names
-            write_read = (a.writes & b.reads | a.reads & b.writes) & shared_names
-            if not write_write and not write_read:
-                report.bump("pairs_disjoint")
-                continue
-            conflict = sorted(write_write | write_read)
-            kind = "write-write" if write_write else "write-read"
-            report.add(
-                Finding(
-                    code=f"race.{kind}",
-                    message=(
-                        f"tasks {a.task_id!r} (core {mapping[a.task_id]}) and "
-                        f"{b.task_id!r} (core {mapping[b.task_id]}) access shared "
-                        f"variable(s) {', '.join(conflict)} without a "
-                        "happens-before ordering"
-                    ),
-                    function=function.name,
-                    subject=f"{a.task_id}<->{b.task_id}",
-                )
-            )
+    report, _ = incremental_race_check(htg, mapping, order, function)
     return report
 
 

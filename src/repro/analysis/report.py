@@ -20,6 +20,12 @@ from typing import Any, Iterable
 #: store the cleanup passes will remove anyway).
 SEVERITIES = ("error", "warning", "info")
 
+#: Finding provenances.  ``computed`` findings were established by running
+#: the analysis in this very invocation; ``reused`` findings were replayed
+#: from an earlier run whose input fingerprints are unchanged (see
+#: :mod:`repro.analysis.incremental`).
+PROVENANCES = ("computed", "reused")
+
 
 def severity_at_least(severity: str, threshold: str) -> bool:
     """True when ``severity`` is at least as severe as ``threshold``.
@@ -49,11 +55,18 @@ class Finding:
     #: ``BB<n>`` block label ...
     subject: str = ""
     severity: str = "error"
+    #: ``computed`` (fresh) or ``reused`` (replayed from a previous run
+    #: whose input fingerprints are unchanged).
+    provenance: str = "computed"
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
             raise ValueError(
                 f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.provenance not in PROVENANCES:
+            raise ValueError(
+                f"provenance must be one of {PROVENANCES}, got {self.provenance!r}"
             )
 
     def as_dict(self) -> dict[str, str]:
@@ -63,6 +76,7 @@ class Finding:
             "function": self.function,
             "subject": self.subject,
             "severity": self.severity,
+            "provenance": self.provenance,
         }
 
     def __str__(self) -> str:

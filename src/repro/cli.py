@@ -34,13 +34,24 @@ facts re-derived)::
     python -m repro certify                   # all built-in use cases
     python -m repro certify egpws --json
 
-Both commands accept the same targets -- built-in use-case names
-(``egpws``, ``weaa``, ``polka``) or paths to Python files exposing a
-``build_model() -> Diagram`` function -- and a ``--fail-on`` severity
-threshold.  Exit status: 0 when no finding reaches the threshold, 1
-otherwise (or when a target failed to build), 2 for usage errors.  ``lint``
-defaults to ``--fail-on info`` (any finding fails, the historical
-behaviour); ``certify`` defaults to ``--fail-on warning``.
+``diff`` runs the incremental re-analysis engine
+(:mod:`repro.analysis.incremental`): a cold pipeline run on the *old*
+model, then :meth:`~repro.core.pipeline.Pipeline.run_incremental` on the
+*new* one, and prints the fingerprint diff and the minimal invalidation
+frontier -- which functions changed, which stages were replayed vs re-run,
+how many race pairs and code-level reports were reused::
+
+    python -m repro diff examples/model_v1.py examples/model_v2.py
+    python -m repro diff egpws examples/egpws_edited.py --json
+
+All three analysis commands accept the same targets -- built-in use-case
+names (``egpws``, ``weaa``, ``polka``) or paths to Python files exposing a
+``build_model() -> Diagram`` function; ``lint`` and ``certify`` also take
+a ``--fail-on`` severity threshold.  Exit status: 0 when no finding
+reaches the threshold, 1 otherwise (or when a target failed to build), 2
+for usage errors.  ``lint`` defaults to ``--fail-on info`` (any finding
+fails, the historical behaviour); ``certify`` defaults to ``--fail-on
+warning``.
 """
 
 from __future__ import annotations
@@ -294,6 +305,75 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 1 if _gating_findings(records, args.fail_on) else 0
 
 
+# ---------------------------------------------------------------------- #
+# diff (incremental re-analysis)
+# ---------------------------------------------------------------------- #
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.adl.platforms import generic_predictable_multicore
+    from repro.analysis.incremental import IncrementalAnalysisStore
+    from repro.analysis.verifier import verify_function
+    from repro.analysis.wcet_facts import derive_flow_facts
+    from repro.core.config import ToolchainConfig
+    from repro.core.exceptions import ToolchainError
+    from repro.core.pipeline import Pipeline
+
+    plan = _resolve_targets([args.old, args.new], "diff")
+    if plan is None:
+        return 2
+    (old_name, old_build), (new_name, new_build) = plan
+    pipeline = Pipeline(generic_predictable_multicore(), ToolchainConfig())
+    store = IncrementalAnalysisStore()
+
+    def code_level_reports(result):
+        """Lint-layer reports, replayed when the function is unchanged."""
+        fingerprint = pipeline.wcet_cache.function_fingerprint(result.model.entry)
+        cached = store.reports_for(fingerprint)
+        if cached is not None:
+            return cached, True
+        entry = result.model.entry
+        reports = [verify_function(entry), derive_flow_facts(entry)[1]]
+        store.record(fingerprint, reports)
+        return reports, False
+
+    try:
+        base = pipeline.run(old_build())
+        base_reports, _ = code_level_reports(base)
+        result = pipeline.run_incremental(base, new_build())
+        new_reports, replayed = code_level_reports(result)
+    except ToolchainError as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 1
+    report = result.artifacts["incremental_report"]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "old": old_name,
+                    "new": new_name,
+                    "report": report.as_dict(),
+                    "code_level_replayed": replayed,
+                    "code_level_reports": [r.as_dict() for r in new_reports],
+                    "old_wcet_bound": base.schedule.wcet_bound,
+                    "new_wcet_bound": result.schedule.wcet_bound,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"diff {old_name} -> {new_name}")
+        print(report.render())
+        print(
+            "code-level analyses: "
+            + ("replayed (provenance=reused)" if replayed else "re-analysed")
+            + f" ({len(base_reports)} report(s))"
+        )
+        print(
+            f"WCET bound: {base.schedule.wcet_bound:.0f} -> "
+            f"{result.schedule.wcet_bound:.0f} cycles"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -370,6 +450,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: warning)",
     )
     certify.set_defaults(func=_cmd_certify)
+
+    diff = commands.add_parser(
+        "diff",
+        help="fingerprint diff + minimal invalidation frontier between two models",
+    )
+    diff.add_argument(
+        "old",
+        help="baseline target: a built-in use-case name (egpws, weaa, polka) "
+        "or a path to a Python file defining build_model()",
+    )
+    diff.add_argument("new", help="edited target (same target language)")
+    diff.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    diff.set_defaults(func=_cmd_diff)
     return parser
 
 

@@ -179,6 +179,11 @@ class PipelineContext:
     artifacts: dict[str, Any] = field(default_factory=dict)
     #: Per-stage scratch: diagnostic values for the current StageRecord.
     info: dict[str, Any] = field(default_factory=dict)
+    #: Incremental-run inputs (set by :meth:`Pipeline.run_incremental`): the
+    #: previous run's race-check state and the ids of tasks whose content
+    #: changed.  ``None`` means "no reuse" -- the cold-run default.
+    prev_race_state: Any = None
+    changed_task_ids: set[str] | None = None
 
     def artifact(self, name: str) -> Any:
         try:
@@ -215,6 +220,24 @@ class PipelineResult:
     #: cache (``stage_hits`` / ``stage_misses``, always present and zero
     #: when stage caching is disabled or no stage opted in).
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Memoized analysis dependency graph (see :meth:`artifact_summary`).
+    _summary: Any = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    def artifact_summary(self, cache: WcetAnalysisCache | None = None) -> dict[str, Any]:
+        """The run's analysis dependency graph, as a JSON-able dict.
+
+        Records the content fingerprints of everything each stage consumed
+        and the per-stage input frontiers (see
+        :func:`repro.analysis.incremental.summarize_result`).  Memoized:
+        capture it soon after the run, while the fingerprinted objects are
+        unmutated -- ``cache`` is only consulted on the first call.
+        """
+        if self._summary is None:
+            from repro.analysis.incremental import summarize_result
+
+            self._summary = summarize_result(self, cache)
+        return self._summary
 
     # ------------------------------------------------------------------ #
     @property
@@ -326,13 +349,22 @@ def _schedule_stage(context: PipelineContext) -> dict[str, Any]:
 
 def _parallel_stage(context: PipelineContext) -> dict[str, Any]:
     model: CompiledModel = context.artifact("transformed_model")
+    race_state = None
     if context.config.race_check:
-        from repro.analysis.races import check_schedule_races
+        from repro.analysis.races import incremental_race_check
 
-        race_report = check_schedule_races(
-            context.artifact("htg"), context.artifact("schedule"), model.entry
+        schedule = context.artifact("schedule")
+        race_report, race_state = incremental_race_check(
+            context.artifact("htg"),
+            schedule.mapping,
+            schedule.order,
+            model.entry,
+            prev_state=context.prev_race_state,
+            changed_tasks=context.changed_task_ids,
         )
         context.info["race_pairs_checked"] = race_report.checked.get("pairs_checked", 0)
+        if race_report.checked.get("pairs_reused"):
+            context.info["race_pairs_reused"] = race_report.checked["pairs_reused"]
         if not race_report.ok:
             raise PipelineError(
                 "the schedule leaves conflicting shared accesses unordered: "
@@ -342,7 +374,12 @@ def _parallel_stage(context: PipelineContext) -> dict[str, Any]:
         context.artifact("htg"), model.entry, context.platform, context.artifact("schedule")
     )
     context.info["sync_ops"] = program.num_sync_ops
-    return {"parallel_program": program}
+    produced: dict[str, Any] = {"parallel_program": program}
+    if race_state is not None:
+        # extra (undeclared) artifact: the reusable race-check snapshot a
+        # later run_incremental seeds incremental_race_check from
+        produced["race_state"] = race_state
+    return produced
 
 
 def _certify_stage(context: PipelineContext) -> dict[str, Any]:
@@ -400,7 +437,10 @@ def _config_digest(config: ToolchainConfig) -> str:
 
 def _htg_fingerprint(context: PipelineContext, htg: HierarchicalTaskGraph) -> str:
     """Structural fingerprint of an HTG: tasks by content, edges by payload."""
-    cache = context.wcet_cache
+    return _htg_fingerprint_of(htg, context.wcet_cache)
+
+
+def _htg_fingerprint_of(htg: HierarchicalTaskGraph, cache: WcetAnalysisCache) -> str:
     tasks = sorted(
         (
             task.task_id,
@@ -743,6 +783,337 @@ class Pipeline:
         cache_stats["stage_hits"] = stage_hits
         cache_stats["stage_misses"] = stage_misses
         return self._assemble_result(diagram, context, records, cache_stats)
+
+    def run_incremental(self, prev: PipelineResult, diagram: Diagram) -> PipelineResult:
+        """Re-run the flow on an edited ``diagram``, reusing ``prev``.
+
+        Walks the analysis dependency graph of ``prev`` (its
+        :meth:`PipelineResult.artifact_summary`): a stage whose complete
+        input frontier is unchanged is *replayed by reference* instead of
+        re-run, and the stages that must run do so incrementally --
+
+        * HTG extraction rebuilds only regions whose code fingerprint
+          changed (task decompositions of clean regions are shallow-copied);
+        * the race check reuses the previous happens-before closure and
+          re-scans only pairs with a changed endpoint;
+        * the schedule stage warm-starts the interference fixed point from
+          the previous converged state (certificate-checked before reuse,
+          see :mod:`repro.wcet.system_level`).
+
+        The result is bit-identical to a cold :meth:`run` on the same
+        diagram: every reuse is guarded by content fingerprints (replay is
+        only valid when it *proves* the inputs unchanged) or re-validated by
+        an independent checker (the warm fixed point).  The per-run reuse
+        accounting lands in ``result.artifacts["incremental_report"]`` (an
+        :class:`~repro.analysis.incremental.IncrementalReport`) and in
+        ``cache_stats["stages_reused"] / ["stages_recomputed"]``.
+
+        Falls back to a plain cold run (with ``fallback_reason`` set) when
+        the stage graph is customised -- the engine only knows the input
+        frontiers of the seven built-in stages.
+        """
+        from repro.analysis.incremental import (
+            TRACKED_STAGES,
+            IncrementalReport,
+            _digest,
+            diagram_fingerprint,
+            diff_summaries,
+            stage_input_frontiers,
+        )
+        from repro.wcet.system_level import warm_start_hint
+
+        report = IncrementalReport()
+        stage_names = tuple(stage.name for stage in self.stages)
+        if stage_names != TRACKED_STAGES:
+            report.fallback_reason = (
+                "custom stage graph: input frontiers unknown for "
+                + ", ".join(sorted(set(stage_names) ^ set(TRACKED_STAGES)))
+            )
+            result = self.run(diagram)
+            report.stages = {name: "recomputed" for name in stage_names}
+            result.cache_stats["stages_reused"] = 0
+            result.cache_stats["stages_recomputed"] = len(stage_names)
+            result.artifacts["incremental_report"] = report
+            return result
+
+        prev_summary = prev.artifact_summary(self.wcet_cache)
+        prev_fp = dict(prev_summary["fingerprints"])
+        prev_frontiers = dict(prev_summary["frontiers"])
+        new_fp: dict[str, Any] = {
+            "diagram": diagram_fingerprint(diagram),
+            "platform": platform_signature(self.platform),
+            "config": _config_digest(self.config),
+            "extraction": _digest([self.config.granularity, self.config.loop_chunks]),
+            "scheduler": _scheduler_identity(self.config.scheduler),
+        }
+
+        # ---- quick path: nothing changed -> zero stages re-run ---------- #
+        if (
+            new_fp["platform"] is not None
+            and new_fp["scheduler"] is not None
+            and new_fp["diagram"] == prev_fp.get("diagram")
+            and new_fp["platform"] == prev_fp.get("platform")
+            and new_fp["config"] == prev_fp.get("config")
+            and new_fp["scheduler"] == prev_fp.get("scheduler")
+        ):
+            report.diff = diff_summaries(prev_summary, prev_summary)
+            report.stages = {name: "reused" for name in stage_names}
+            report.regions_reused = len(prev_summary["regions"])
+            records = []
+            for stage in self.stages:
+                try:
+                    prev_record = prev.stage(stage.name)
+                    produced, info = prev_record.produced, dict(prev_record.info)
+                except KeyError:
+                    produced, info = stage.produces, {}
+                info["incremental"] = "reused"
+                records.append(
+                    StageRecord(name=stage.name, seconds=0.0, produced=produced, info=info)
+                )
+            artifacts = dict(prev.artifacts)
+            artifacts.update(
+                {"diagram": diagram, "platform": self.platform, "config": self.config}
+            )
+            artifacts["incremental_report"] = report
+            return PipelineResult(
+                diagram_name=diagram.name,
+                platform_name=self.platform.name,
+                config=self.config,
+                model=prev.model,
+                htg=prev.htg,
+                schedule=prev.schedule,
+                parallel_program=prev.parallel_program,
+                sequential_bound=prev.sequential_bound,
+                pass_reports=list(prev.pass_reports),
+                stage_records=records,
+                artifacts=artifacts,
+                cache_stats={
+                    "hits": 0,
+                    "disk_hits": 0,
+                    "misses": 0,
+                    "stage_hits": 0,
+                    "stage_misses": 0,
+                    "stages_reused": len(stage_names),
+                    "stages_recomputed": 0,
+                },
+                _summary=prev_summary,
+            )
+
+        # ---- dirty path: replay clean stages, re-run dirty ones --------- #
+        context = PipelineContext(
+            diagram=diagram,
+            platform=self.platform,
+            config=self.config,
+            wcet_cache=self.wcet_cache,
+            artifacts={
+                "diagram": diagram,
+                "platform": self.platform,
+                "config": self.config,
+            },
+        )
+        stats = self.wcet_cache.stats
+        counters_before = (stats.hits, stats.disk_hits, stats.misses)
+        records: list[StageRecord] = []
+        by_name = {stage.name: stage for stage in self.stages}
+
+        def execute(name: str, status: str = "recomputed") -> StageRecord:
+            stage = by_name[name]
+            context.info = {}
+            started = time.perf_counter()
+            produced = dict(stage.run(context) or {})
+            seconds = time.perf_counter() - started
+            missing = [a for a in stage.produces if a not in produced]
+            if missing:
+                raise PipelineError(
+                    f"stage {name!r} did not produce declared artifact(s): "
+                    f"{', '.join(missing)}"
+                )
+            context.artifacts.update(produced)
+            info = dict(context.info)
+            info["incremental"] = status
+            record = StageRecord(
+                name=name, seconds=seconds, produced=tuple(produced), info=info
+            )
+            records.append(record)
+            report.stages[name] = status
+            return record
+
+        def replay(name: str) -> None:
+            try:
+                prev_record = prev.stage(name)
+                artifact_names = prev_record.produced
+                info = dict(prev_record.info)
+            except KeyError:
+                artifact_names, info = by_name[name].produces, {}
+            produced = {
+                artifact: prev.artifacts[artifact]
+                for artifact in artifact_names
+                if artifact in prev.artifacts
+            }
+            context.artifacts.update(produced)
+            info["incremental"] = "reused"
+            records.append(
+                StageRecord(name=name, seconds=0.0, produced=tuple(produced), info=info)
+            )
+            report.stages[name] = "reused"
+
+        # frontend + transforms always re-run here: the transformation
+        # passes mutate the compiled model in place, so the previous run
+        # holds no pristine pre-transform model to replay from.
+        execute("frontend")
+        execute("transforms")
+        model: CompiledModel = context.artifact("transformed_model")
+        # the passes just mutated the freshly compiled IR in place; per the
+        # WcetAnalysisCache contract, drop any fingerprints memoized for it
+        # before fingerprinting the final content
+        self.wcet_cache.invalidate_fingerprints(model.entry)
+        new_fp["function"] = self.wcet_cache.function_fingerprint(model.entry)
+        new_regions = {
+            name: self.wcet_cache.region_fingerprint(block)
+            for name, block in model.block_regions
+        }
+        prev_regions = dict(prev_summary["regions"])
+        unchanged_regions = {
+            name for name, fp in new_regions.items() if prev_regions.get(name) == fp
+        }
+
+        # htg: replay / per-region incremental re-extraction / cold
+        changed_task_ids: set[str] | None
+        psig_ok = (
+            new_fp["platform"] is not None
+            and new_fp["platform"] == prev_fp.get("platform")
+        )
+        extraction_same = new_fp["extraction"] == prev_fp.get("extraction")
+        if (
+            psig_ok
+            and extraction_same
+            and prev_fp.get("function") is not None
+            and new_fp["function"] == prev_fp.get("function")
+        ):
+            replay("htg")
+            changed_task_ids = set()
+            report.regions_reused += len(new_regions)
+        elif psig_ok and extraction_same:
+            from repro.htg.extraction import extract_htg_incremental
+
+            context.info = {}
+            started = time.perf_counter()
+            options = ExtractionOptions(
+                granularity=self.config.granularity,
+                loop_chunks=self.config.loop_chunks,
+            )
+            prev_tasks: dict[str, list] = {}
+            for task in prev.htg.tasks.values():
+                if task.origin:
+                    prev_tasks.setdefault(task.origin, []).append(task)
+            htg, inc = extract_htg_incremental(
+                model, options, prev_tasks, unchanged_regions
+            )
+            # reused tasks are copies of already-annotated tasks and the
+            # platform signature is proven unchanged (psig_ok), so only the
+            # re-extracted tasks need WCET annotation; when the edit kept
+            # the task/edge structure, the previous run's transitive-closure
+            # memo applies verbatim as well.
+            htg.adopt_dependent_pairs(prev.htg)
+            cost_model = HardwareCostModel(self.platform, self.platform.cores[0].core_id)
+            self.wcet_cache.annotate_htg(
+                htg, model.entry, cost_model, only=set(inc["changed_task_ids"])
+            )
+            context.artifacts["htg"] = htg
+            records.append(
+                StageRecord(
+                    name="htg",
+                    seconds=time.perf_counter() - started,
+                    produced=("htg",),
+                    info={
+                        "tasks": len(htg.leaf_tasks()),
+                        "regions_reused": inc["regions_reused"],
+                        "regions_recomputed": inc["regions_recomputed"],
+                        "incremental": "incremental",
+                    },
+                )
+            )
+            report.stages["htg"] = "incremental"
+            report.regions_reused += inc["regions_reused"]
+            report.regions_recomputed += inc["regions_recomputed"]
+            changed_task_ids = set(inc["changed_task_ids"])
+        else:
+            execute("htg")
+            changed_task_ids = None
+            report.regions_recomputed += len(new_regions)
+        new_fp["htg"] = _htg_fingerprint_of(context.artifact("htg"), self.wcet_cache)
+
+        # schedule: replay, or re-run warm-started from the previous result
+        schedule_frontier = stage_input_frontiers(new_fp)["schedule"]
+        if (
+            schedule_frontier is not None
+            and schedule_frontier == prev_frontiers.get("schedule")
+        ):
+            replay("schedule")
+        else:
+            with warm_start_hint(prev.schedule.result):
+                record = execute("schedule")
+            warm_info = getattr(
+                context.artifact("schedule").result, "warm_info", None
+            )
+            if warm_info is not None:
+                report.warm_fixed_point = warm_info
+                record.info["warm_started"] = bool(warm_info.get("warm_started"))
+        new_fp["schedule"] = _schedule_digest(context.artifact("schedule"))
+        frontiers = stage_input_frontiers(new_fp)
+
+        # parallel: replay, or re-check only race pairs with a changed endpoint
+        if (
+            frontiers["parallel"] is not None
+            and frontiers["parallel"] == prev_frontiers.get("parallel")
+        ):
+            replay("parallel")
+        else:
+            context.prev_race_state = prev.artifacts.get("race_state")
+            context.changed_task_ids = changed_task_ids
+            status = (
+                "incremental"
+                if context.prev_race_state is not None and changed_task_ids is not None
+                else "recomputed"
+            )
+            record = execute("parallel", status)
+            report.race_pairs_checked = record.info.get("race_pairs_checked", 0)
+            report.race_pairs_reused = record.info.get("race_pairs_reused", 0)
+
+        # wcet + certify: pure frontier comparisons
+        if (
+            frontiers["wcet"] is not None
+            and frontiers["wcet"] == prev_frontiers.get("wcet")
+        ):
+            replay("wcet")
+        else:
+            execute("wcet")
+        if (
+            frontiers["certify"] is not None
+            and frontiers["certify"] == prev_frontiers.get("certify")
+        ):
+            replay("certify")
+        else:
+            execute("certify")
+
+        cache_stats = {
+            key: after - before
+            for key, before, after in zip(
+                ("hits", "disk_hits", "misses"),
+                counters_before,
+                (stats.hits, stats.disk_hits, stats.misses),
+            )
+        }
+        cache_stats["stage_hits"] = 0
+        cache_stats["stage_misses"] = 0
+        cache_stats["stages_reused"] = report.stages_reused
+        cache_stats["stages_recomputed"] = report.stages_recomputed
+        result = self._assemble_result(diagram, context, records, cache_stats)
+        report.diff = diff_summaries(
+            prev_summary, result.artifact_summary(self.wcet_cache)
+        )
+        result.artifacts["incremental_report"] = report
+        return result
 
     def _assemble_result(
         self,

@@ -26,7 +26,6 @@ from typing import Any, Mapping
 
 from repro.adl.architecture import Platform
 from repro.core.config import ToolchainConfig
-from repro.core.exceptions import ToolchainError
 from repro.core.pipeline import (
     Pipeline,
     PipelineContext,

@@ -24,7 +24,7 @@ from repro.ir.program import Function, Program, Storage, VarDecl
 from repro.ir.statements import Block as IRBlock
 from repro.ir.types import FLOAT, ArrayType
 from repro.frontend.lowering import ScilabLoweringError, lower_script
-from repro.model.blocks import Block, Port
+from repro.model.blocks import Port
 from repro.model.diagram import Connection, Diagram
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.ir.builder import FunctionBuilder, as_expr
+from repro.ir.builder import FunctionBuilder
 from repro.ir.expressions import (
     ArrayRef,
     BinOp,
@@ -25,7 +25,7 @@ from repro.ir.expressions import (
     Var,
     try_evaluate_constant,
 )
-from repro.ir.types import FLOAT, INT, ArrayType
+from repro.ir.types import INT, ArrayType
 from repro.model.scilab import ast
 
 

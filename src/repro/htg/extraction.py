@@ -17,12 +17,13 @@ different cores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Sequence
 
 from repro.frontend.codegen import CompiledModel
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task, TaskKind
-from repro.ir.analysis import access_summary, read_write_sets, shared_access_summary
+from repro.ir.analysis import read_write_sets, shared_access_summary
 from repro.ir.expressions import ArrayRef, Var
 from repro.ir.loops import loop_trip_count
 from repro.ir.program import Function, Storage
@@ -193,21 +194,87 @@ class ExtractionOptions:
     min_trip_count_to_split: int = 4
 
 
+def _region_tasks(
+    region_name: str, region: IRBlock, function: Function, options: ExtractionOptions
+) -> list[Task]:
+    """The task decomposition of one code region at the requested granularity."""
+    if options.granularity == "loop":
+        return _extract_region_fine(region_name, region, function, options)
+    return [_make_task(f"t_{region_name}", TaskKind.BLOCK, region, region_name, function)]
+
+
 def extract_htg(model: CompiledModel, options: ExtractionOptions | None = None) -> HierarchicalTaskGraph:
     """Extract the HTG of a compiled model."""
     options = options or ExtractionOptions()
     if options.granularity not in ("block", "loop"):
         raise ValueError(f"unknown granularity {options.granularity!r}")
     function = model.entry
-    shared = _shared_names(function)
-    htg = HierarchicalTaskGraph(name=model.diagram_name)
 
     tasks: list[Task] = []
     for region_name, region in model.block_regions:
-        if options.granularity == "loop":
-            tasks.extend(_extract_region_fine(region_name, region, function, options))
+        tasks.extend(_region_tasks(region_name, region, function, options))
+    return _assemble_htg(model.diagram_name, tasks, function)
+
+
+def extract_htg_incremental(
+    model: CompiledModel,
+    options: ExtractionOptions | None,
+    prev_tasks: Mapping[str, Sequence[Task]],
+    unchanged_regions: set[str],
+) -> tuple[HierarchicalTaskGraph, dict[str, Any]]:
+    """Re-extract the HTG of an edited model, reusing per-region task lists.
+
+    ``prev_tasks`` groups the previous run's leaf tasks by ``Task.origin``
+    (the region name); ``unchanged_regions`` names the regions whose
+    rendered-code fingerprints match the previous run.  Task ids are a pure
+    function of the region name, and a task's content (statements, read/write
+    sets, shared-access summary) is a pure function of the region code, so an
+    unchanged region's tasks can be reused verbatim.  Reused tasks are
+    *shallow copies* sharing the previous statements block: the original
+    tasks keep their annotations (``annotate_htg`` mutates ``wcet``/``acet``
+    in place) and the shared ``id(statements)`` preserves the
+    :class:`~repro.wcet.cache.WcetAnalysisCache` fingerprint memo hits.
+
+    Inter-task dependence edges are always re-derived globally: they depend
+    on the program order of *all* regions, which an edit anywhere can shift.
+    Returns the HTG plus an info dict with ``regions_reused`` /
+    ``regions_recomputed`` counts and the ``changed_task_ids`` produced by
+    recomputed regions.
+    """
+    options = options or ExtractionOptions()
+    if options.granularity not in ("block", "loop"):
+        raise ValueError(f"unknown granularity {options.granularity!r}")
+    function = model.entry
+
+    tasks: list[Task] = []
+    changed_task_ids: set[str] = set()
+    regions_reused = 0
+    regions_recomputed = 0
+    for region_name, region in model.block_regions:
+        previous = prev_tasks.get(region_name)
+        if previous and region_name in unchanged_regions:
+            tasks.extend(replace(task) for task in previous)
+            regions_reused += 1
         else:
-            tasks.append(_make_task(f"t_{region_name}", TaskKind.BLOCK, region, region_name, function))
+            fresh = _region_tasks(region_name, region, function, options)
+            changed_task_ids.update(t.task_id for t in fresh)
+            tasks.extend(fresh)
+            regions_recomputed += 1
+    htg = _assemble_htg(model.diagram_name, tasks, function)
+    info = {
+        "regions_reused": regions_reused,
+        "regions_recomputed": regions_recomputed,
+        "changed_task_ids": changed_task_ids,
+    }
+    return htg, info
+
+
+def _assemble_htg(
+    name: str, tasks: list[Task], function: Function
+) -> HierarchicalTaskGraph:
+    """Build the task graph: dependence edges over an ordered task list."""
+    shared = _shared_names(function)
+    htg = HierarchicalTaskGraph(name=name)
 
     for task in tasks:
         htg.add_task(task)

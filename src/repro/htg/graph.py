@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.htg.task import Task, TaskKind
+from repro.htg.task import Task
 from repro.utils.graphs import is_acyclic, longest_path_length, topological_order, transitive_closure
 
 
@@ -49,6 +49,9 @@ class HierarchicalTaskGraph:
     _succ_index: dict[str, list[str]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    _dependent_pairs: set[tuple[str, str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     def _ensure_indexes(self) -> None:
@@ -73,6 +76,7 @@ class HierarchicalTaskGraph:
         if self._pred_index is not None:
             self._pred_index.setdefault(task.task_id, [])
             self._succ_index.setdefault(task.task_id, [])
+        self._dependent_pairs = None
         return task
 
     def add_edge(self, src: str, dst: str, payload_bytes: int = 0, variables: tuple[str, ...] = ()) -> TaskEdge:
@@ -89,6 +93,7 @@ class HierarchicalTaskGraph:
         self._edge_index[(src, dst)] = edge
         self._pred_index.setdefault(dst, []).append(src)
         self._succ_index.setdefault(src, []).append(dst)
+        self._dependent_pairs = None
         return edge
 
     # ------------------------------------------------------------------ #
@@ -157,8 +162,37 @@ class HierarchicalTaskGraph:
         return {str(u) for (u, v) in closure if v == task_id}
 
     def dependent_pairs(self) -> set[tuple[str, str]]:
-        """All ordered pairs (u, v) where v transitively depends on u."""
-        return {(str(u), str(v)) for (u, v) in transitive_closure(self.tasks.keys(), self.edge_pairs())}
+        """All ordered pairs (u, v) where v transitively depends on u.
+
+        Memoized (the transitive closure is the most expensive query on the
+        graph; the schedule and parallel-program validators both need it);
+        invalidated by :meth:`add_task` / :meth:`add_edge` like the
+        adjacency indexes.  Treat the returned set as read-only.
+        """
+        if self._dependent_pairs is None:
+            self._dependent_pairs = {
+                (str(u), str(v))
+                for (u, v) in transitive_closure(self.tasks.keys(), self.edge_pairs())
+            }
+        return self._dependent_pairs
+
+    def adopt_dependent_pairs(self, other: "HierarchicalTaskGraph") -> bool:
+        """Share ``other``'s memoized transitive closure when it provably applies.
+
+        Two graphs with the same task-id set and the same edge set have the
+        same closure, so an incrementally re-extracted HTG can inherit the
+        previous run's memo instead of recomputing it (the closure is the
+        most expensive graph query).  Returns ``True`` when adopted; a
+        no-op when the graphs differ or ``other`` has no memo yet.
+        """
+        if other._dependent_pairs is None:
+            return False
+        if self.tasks.keys() != other.tasks.keys():
+            return False
+        if set(self.edge_pairs()) != set(other.edge_pairs()):
+            return False
+        self._dependent_pairs = other._dependent_pairs
+        return True
 
     def summary(self) -> str:
         lines = [

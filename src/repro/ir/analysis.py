@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.ir.expressions import ArrayRef, Expr, Var
-from repro.ir.program import Function, Storage, VarDecl
+from repro.ir.expressions import ArrayRef, Expr
+from repro.ir.program import Function, Storage
 from repro.ir.statements import Assign, Block, ExprStmt, For, If, Return, Stmt, While
 from repro.ir.loops import loop_trip_count
 

@@ -14,7 +14,7 @@ from typing import Iterator
 from repro.ir.expressions import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
 from repro.ir.program import Function, Storage, VarDecl
 from repro.ir.statements import Assign, Block, For, If, Return, Stmt, While
-from repro.ir.types import FLOAT, INT, ArrayType, IRType, ScalarType
+from repro.ir.types import FLOAT, INT, ArrayType, ScalarType
 
 
 def as_expr(value: Expr | float | int | bool) -> Expr:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.ir.types import BOOL, FLOAT, INT, ArrayType, IRType, ScalarKind, ScalarType
+from repro.ir.types import BOOL, FLOAT, INT, IRType, ScalarKind, ScalarType
 
 #: Binary operators supported by the IR, grouped by cost class.
 ARITH_OPS = ("+", "-", "*", "/", "%", "min", "max")

@@ -13,7 +13,6 @@ The interpreter serves three purposes in the reproduction:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -31,7 +30,7 @@ from repro.ir.expressions import (
     _apply_intrinsic,
     _apply_unop,
 )
-from repro.ir.program import Function, Storage
+from repro.ir.program import Function
 from repro.ir.statements import (
     Assign,
     Block,

@@ -5,8 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.ir.statements import Block, Stmt
-from repro.ir.types import ArrayType, IRType, is_array
+from repro.ir.statements import Block
+from repro.ir.types import IRType, is_array
 
 
 class Storage(enum.Enum):

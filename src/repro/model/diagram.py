@@ -17,7 +17,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from repro.model.blocks import Block, Port
+from repro.model.blocks import Block
 from repro.utils.graphs import topological_order
 
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph

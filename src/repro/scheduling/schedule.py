@@ -167,16 +167,22 @@ def evaluate_mapping(
     scheduler: str = "",
     cache: WcetAnalysisCache | None = None,
     certify: bool = False,
+    warm_start=None,
 ) -> Schedule:
     """Run the system-level WCET analysis on a mapping and wrap it.
 
     ``certify`` is forwarded to :func:`system_level_wcet`: a memoized
     result replayed from the result cache is then re-validated by the
-    fixed-point certificate checker before being trusted.
+    fixed-point certificate checker before being trusted.  ``warm_start``
+    (a previous :class:`SystemWcetResult`, or the ambient
+    :func:`repro.wcet.system_level.warm_start_hint`) seeds the interference
+    fixed point from the previous converged state; the warm result is
+    certificate-checked before reuse.
     """
     order = order or default_core_order(htg, mapping)
     result = system_level_wcet(
-        htg, function, platform, mapping, order, cache=cache, certify=certify
+        htg, function, platform, mapping, order, cache=cache, certify=certify,
+        warm_start=warm_start,
     )
     return Schedule(
         htg_name=htg.name,

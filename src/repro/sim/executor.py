@@ -23,13 +23,13 @@ WCET -- the tightness ratio measured by experiment E6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.interpreter import ExecutionStats, Interpreter
-from repro.ir.program import Function, Storage
+from repro.ir.program import Function
 from repro.parallel.model import ParallelProgram
 from repro.utils.intervals import Interval
 from repro.wcet.hardware_model import HardwareCostModel

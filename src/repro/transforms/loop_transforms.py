@@ -14,9 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.ir.expressions import BinOp, Const, Var, substitute, try_evaluate_constant
-from repro.ir.loops import loop_trip_count
 from repro.ir.program import Function
-from repro.ir.statements import Assign, Block, For, If, Stmt
+from repro.ir.statements import Block, For, If, Stmt
 from repro.ir.visitors import StatementTransformer, clone_block
 from repro.transforms.base import FunctionPass, PassReport
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.ir.expressions import Const, Expr, try_evaluate_constant
 from repro.ir.program import Function
-from repro.ir.statements import Assign, Block, For, If, Stmt, While
+from repro.ir.statements import Assign, For, If, Stmt, While
 from repro.ir.visitors import StatementTransformer
 from repro.transforms.base import FunctionPass, PassReport
 

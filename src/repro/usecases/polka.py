@@ -16,7 +16,6 @@ synthetic line-scan data:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.model import Diagram, library
 from repro.model.blocks import Block, Port

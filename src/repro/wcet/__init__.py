@@ -41,6 +41,26 @@ rebuilds.  Only two situations require explicit action from callers:
   supported style is to build fresh objects instead, which needs no
   invalidation at all.
 
+:meth:`~repro.wcet.cache.WcetAnalysisCache.invalidate_fingerprints` is the
+single dispatching entry point for both rules: hand it whatever was mutated
+in place -- a ``Function``, a statement ``Block``, a ``Task``, a whole
+``HierarchicalTaskGraph`` or a ``HardwareCostModel`` -- and every memoized
+fingerprint/cost signature derived from that object is forgotten (content
+addressing keeps the *entries* valid; only the identity-keyed memos can go
+stale).  Mutating a fingerprinted object without calling it is undefined
+behaviour.  The incremental re-analysis engine
+(:meth:`repro.core.pipeline.Pipeline.run_incremental`) and the edit-script
+generators in :mod:`repro.usecases.workloads` rely on this API.
+
+Since schema **v3**, code-level entry keys embed the function's
+*declaration-table* fingerprint (name, type, storage class of every
+param/decl) instead of the whole-function fingerprint: a region's WCET
+reads the enclosing function only through that table, so editing one
+region leaves every other region's entry addressable -- the property the
+incremental engine's ≥5x single-edit win rests on.  The
+:data:`~repro.wcet.cache.CACHE_SCHEMA_VERSION` bump (2 → 3) retires the
+old whole-function-keyed on-disk entries by the ordinary versioning rule.
+
 System-level / result tiers
 ---------------------------
 The same contract extends to the **system-level result tier**
@@ -141,6 +161,14 @@ a refuted entry raises
 silently trusted.  Freshly computed results are not re-checked on this
 path -- the pipeline's ``certify`` stage (``ToolchainConfig.certify``)
 covers them.
+
+Warm-started fixed points follow the same discipline:
+:func:`~repro.wcet.system_level.warm_start_hint` (used by the incremental
+pipeline around the schedule stage) seeds the interference iteration from
+a previous converged result, and the warm-seeded outcome is returned only
+after the independent fixed-point checker accepts it -- otherwise the
+cold iteration runs.  Warm results are never stored in the result tier,
+which must only ever serve the cold answer.
 """
 
 from repro.wcet.hardware_model import HardwareCostModel
@@ -160,6 +188,7 @@ from repro.wcet.system_level import (
     SystemWcetResult,
     contention_oblivious_bound,
     system_level_wcet,
+    warm_start_hint,
 )
 
 __all__ = [
@@ -179,4 +208,5 @@ __all__ = [
     "SystemWcetResult",
     "contention_oblivious_bound",
     "system_level_wcet",
+    "warm_start_hint",
 ]

@@ -150,7 +150,7 @@ import uuid
 import weakref
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Any, Collection, Iterator
 
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task
@@ -172,7 +172,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: disk (each lives in its own ``v<N>`` subdirectory).
 #: v2: system-level task rows grew from 4 to 6 elements (isolated base WCET
 #: and shared-access count appended, needed by certificate checking).
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable naming the cache directory of the process-wide
 #: shared cache (see :func:`shared_cache`).
@@ -266,6 +266,10 @@ class _ShardBackedTier:
 
     _cache_dir: Path | None
     _shard_token: str
+    _entries: dict[str, Any]
+    _loaded: set[str]
+    _persisted: set[str]
+    _own_lines: dict[str, str]
 
     def _version_dir(self) -> Path:
         assert self._cache_dir is not None
@@ -307,6 +311,8 @@ class WcetAnalysisCache(_ShardBackedTier):
     _function_fps: dict[int, str] = field(default_factory=dict, repr=False)
     #: id(Block) -> fingerprint
     _region_fps: dict[int, str] = field(default_factory=dict, repr=False)
+    #: id(Function) -> declaration-table fingerprint (see ``entry_key``)
+    _context_fps: dict[int, str] = field(default_factory=dict, repr=False)
     #: id(HardwareCostModel) -> (signature tuple, digest)
     _model_sigs: dict[int, tuple[tuple, str]] = field(default_factory=dict, repr=False)
     #: objects that could not be weakref'd, pinned so their ids stay valid
@@ -356,6 +362,30 @@ class WcetAnalysisCache(_ShardBackedTier):
         cached = self._region_fps.get(id(region))
         if cached is None:
             cached = self._remember(self._region_fps, region, _digest(to_c(region)))
+        return cached
+
+    def _function_context_fingerprint(self, function: Function) -> str:
+        """Fingerprint of everything the code-level analysis reads *through*
+        the function: its declaration table (name -> type, storage class).
+
+        A region's WCET is a pure function of the region's statements, the
+        cost model and this table (storage classification decides memory
+        latencies), NOT of the other regions' code -- keying entries by the
+        whole-function fingerprint would invalidate every region's memo on
+        any single-region edit, which is exactly what the incremental
+        re-analysis engine must avoid.
+        """
+        cached = self._context_fps.get(id(function))
+        if cached is None:
+            decls = sorted(
+                (decl.name, str(decl.type), decl.storage.name)
+                for decl in (*function.params, *function.decls)
+            )
+            cached = self._remember(
+                self._context_fps,
+                function,
+                _digest(json.dumps(decls, separators=(",", ":"))),
+            )
         return cached
 
     def model_signature(self, model: HardwareCostModel) -> tuple:
@@ -413,10 +443,17 @@ class WcetAnalysisCache(_ShardBackedTier):
         model: HardwareCostModel,
         average: bool = False,
     ) -> str:
-        """The stable content key of one analysis (also the on-disk key)."""
+        """The stable content key of one analysis (also the on-disk key).
+
+        Keyed by the *region* content plus the function's declaration-table
+        fingerprint (not the whole function body): the analysis only reads
+        the function through its decl table, so editing one region leaves
+        every other region's entry addressable -- the property the
+        incremental re-analysis engine relies on.
+        """
         return "|".join(
             (
-                self._function_fingerprint(function),
+                self._function_context_fingerprint(function),
                 self._region_fingerprint(region),
                 self._model_signature(model)[1],
                 "avg" if average else "wc",
@@ -472,9 +509,19 @@ class WcetAnalysisCache(_ShardBackedTier):
         function: Function,
         model: HardwareCostModel,
         acet_model: HardwareCostModel | None = None,
+        only: "Collection[str] | None" = None,
     ) -> None:
-        """Cached counterpart of :func:`~repro.wcet.code_level.annotate_htg_wcets`."""
+        """Cached counterpart of :func:`~repro.wcet.code_level.annotate_htg_wcets`.
+
+        With ``only`` set, just the named tasks are (re)annotated; the
+        caller asserts every other task already carries a valid
+        ``wcet``/``acet`` for ``model`` (the incremental pipeline passes the
+        re-extracted task ids here -- reused tasks are copies of previously
+        annotated ones and the platform signature is proven unchanged).
+        """
         for task in htg.tasks.values():
+            if only is not None and task.task_id not in only and not task.is_synthetic:
+                continue
             if task.is_synthetic:
                 task.wcet = 0.0
                 task.acet = 0.0
@@ -745,10 +792,48 @@ class WcetAnalysisCache(_ShardBackedTier):
         be dropped so they are recomputed from the new contents.
         """
         self._function_fps.pop(id(function), None)
+        self._context_fps.pop(id(function), None)
         self._region_fps.pop(id(function.body), None)
         for stmt in function.body.walk():
             if isinstance(stmt, Block):
                 self._region_fps.pop(id(stmt), None)
+
+    def invalidate_fingerprints(self, obj: object) -> None:
+        """Forget every memoized fingerprint/signature derived from ``obj``.
+
+        The fingerprint memos are keyed by ``id(obj)``: cheap, but blind to
+        in-place mutation.  **Mutating an object after this cache has
+        fingerprinted it, without calling this method, is undefined
+        behaviour** -- the stale memo would keep addressing the pre-mutation
+        analysis results.  Callers that mutate IR, tasks or cost models in
+        place (transform passes, the incremental re-analysis engine, edit
+        scripts) must invalidate first; content-addressed entries themselves
+        stay valid because the re-rendered object simply produces new keys.
+
+        Accepts a :class:`~repro.ir.program.Function`, a statement
+        :class:`~repro.ir.statements.Block`, a :class:`~repro.htg.task.Task`,
+        a whole :class:`~repro.htg.graph.HierarchicalTaskGraph` or a
+        :class:`~repro.wcet.hardware_model.HardwareCostModel`.
+        """
+        if isinstance(obj, Function):
+            self.invalidate_function(obj)
+        elif isinstance(obj, Block):
+            self._region_fps.pop(id(obj), None)
+            for stmt in obj.walk():
+                if isinstance(stmt, Block):
+                    self._region_fps.pop(id(stmt), None)
+        elif isinstance(obj, Task):
+            self.invalidate_fingerprints(obj.statements)
+        elif isinstance(obj, HierarchicalTaskGraph):
+            for task in obj.tasks.values():
+                self.invalidate_fingerprints(task.statements)
+        elif isinstance(obj, HardwareCostModel):
+            self._model_sigs.pop(id(obj), None)
+        else:
+            raise TypeError(
+                "invalidate_fingerprints expects a Function, Block, Task, "
+                f"HierarchicalTaskGraph or HardwareCostModel, got {type(obj).__name__}"
+            )
 
     def clear(self) -> None:
         """Drop every in-memory entry and memo (stats are kept).
@@ -760,6 +845,7 @@ class WcetAnalysisCache(_ShardBackedTier):
         self._entries.clear()
         self._function_fps.clear()
         self._region_fps.clear()
+        self._context_fps.clear()
         self._model_sigs.clear()
         self._pins.clear()
         self._loaded.clear()

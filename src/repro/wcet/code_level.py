@@ -15,7 +15,7 @@ loop-free code (a property the test suite cross-checks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.htg.graph import HierarchicalTaskGraph

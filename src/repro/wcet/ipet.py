@@ -23,7 +23,7 @@ from scipy.optimize import linprog
 
 from repro.ir.cfg import ControlFlowGraph, build_cfg
 from repro.ir.program import Function
-from repro.wcet.code_level import WcetBreakdown, statement_wcet, _expr_cost
+from repro.wcet.code_level import statement_wcet, _expr_cost
 from repro.wcet.hardware_model import HardwareCostModel
 
 

@@ -37,8 +37,9 @@ bit-for-bit identical to the double loop (the test suite asserts this).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
@@ -80,6 +81,9 @@ class SystemWcetResult:
     #: analysis.  Defaulted for results built by hand in tests.
     task_base_wcet: dict[str, float] = field(default_factory=dict)
     task_shared_accesses: dict[str, int] = field(default_factory=dict)
+    #: Diagnostics of the warm-start path (``None`` for cold runs and
+    #: results replayed from the result tier; never serialized).
+    warm_info: dict | None = None
 
     def interval(self, task_id: str) -> Interval:
         return self.task_intervals[task_id]
@@ -327,6 +331,104 @@ def _certify_replayed_result(
         )
 
 
+#: Ambient warm-start hint (see :func:`warm_start_hint`).  A plain module
+#: global: sweeps parallelise across *processes*, so per-thread state is
+#: not needed, and the hint must reach :func:`system_level_wcet` calls made
+#: deep inside scheduler implementations without threading a parameter
+#: through every ``build()`` signature.
+_WARM_HINT: "SystemWcetResult | None" = None
+
+
+@contextmanager
+def warm_start_hint(result: "SystemWcetResult | None") -> Iterator[None]:
+    """Ambiently offer ``result`` as a warm start to nested fixed points.
+
+    Used by :meth:`repro.core.pipeline.Pipeline.run_incremental` around the
+    schedule stage: the scheduler's internal :func:`system_level_wcet` calls
+    pick the hint up via the ``warm_start`` default.  Safe for arbitrary
+    candidate mappings -- the dirty-core detection reduces the seed to the
+    cold one whenever the warm result's per-core task sets or WCETs do not
+    match, and every warm-seeded result is certificate-checked.
+    """
+    global _WARM_HINT
+    previous = _WARM_HINT
+    _WARM_HINT = result
+    try:
+        yield
+    finally:
+        _WARM_HINT = previous
+
+
+def _warm_seed(
+    warm: SystemWcetResult,
+    leaf_ids: list[str],
+    mapping: dict[str, int],
+    order: dict[int, list[str]],
+    base_wcet: dict[str, float],
+    shared_accesses: dict[str, int],
+) -> tuple[dict[str, float], dict[str, int], set[int]] | None:
+    """Seed state from a previous converged result, or ``None`` when useless.
+
+    A core is *dirty* when its mapped task set changed or any of its tasks'
+    code-level inputs (isolated WCET, shared-access count) differ from the
+    witnesses carried by the previous result; dirty-core tasks seed from the
+    cold state (base WCET, zero contenders), clean-core tasks from the
+    previous converged state.  Returns ``None`` when every core is dirty --
+    the seed would equal the cold one, so the caller should just run cold.
+    """
+    prev_core_tasks: dict[int, set[str]] = {}
+    for tid, core in warm.task_cores.items():
+        prev_core_tasks.setdefault(core, set()).add(tid)
+    dirty_cores: set[int] = set()
+    for core, tids in order.items():
+        if set(tids) != prev_core_tasks.get(core, set()):
+            dirty_cores.add(core)
+            continue
+        for tid in tids:
+            if (
+                warm.task_base_wcet.get(tid) != base_wcet[tid]
+                or warm.task_shared_accesses.get(tid) != shared_accesses[tid]
+                or tid not in warm.task_effective_wcet
+                or tid not in warm.task_contenders
+            ):
+                dirty_cores.add(core)
+                break
+    if dirty_cores >= set(order):
+        return None
+    effective = {
+        tid: base_wcet[tid]
+        if mapping[tid] in dirty_cores
+        else warm.task_effective_wcet[tid]
+        for tid in leaf_ids
+    }
+    contenders = {
+        tid: 0 if mapping[tid] in dirty_cores else warm.task_contenders[tid]
+        for tid in leaf_ids
+    }
+    return effective, contenders, dirty_cores
+
+
+def _warm_result_certified(
+    result: SystemWcetResult,
+    htg: HierarchicalTaskGraph,
+    platform: Platform,
+    order: dict[int, list[str]],
+) -> bool:
+    """One independent re-application of the interference equations.
+
+    The warm-started fixed point is only *reused* when the PR 7 certificate
+    checker accepts it, so reuse is proved sound rather than assumed.
+    """
+    from repro.analysis.certify import (
+        build_fixed_point_certificate,
+        check_fixed_point_certificate,
+    )
+
+    certificate = build_fixed_point_certificate(result, order, platform, htg)
+    report = check_fixed_point_certificate(certificate, htg, platform)
+    return report.count("error") == 0
+
+
 def system_level_wcet(
     htg: HierarchicalTaskGraph,
     function: Function,
@@ -339,6 +441,7 @@ def system_level_wcet(
     mhp_backend: str = "auto",
     result_cache: "SystemResultCache | None | bool" = None,
     certify: bool = False,
+    warm_start: "SystemWcetResult | None" = None,
 ) -> SystemWcetResult:
     """Contention-aware multi-core WCET of a mapped and ordered HTG.
 
@@ -364,6 +467,22 @@ def system_level_wcet(
     :class:`~repro.analysis.certify.CertificationError` instead of being
     silently trusted.  Freshly computed results are returned as-is (the
     pipeline's ``certify`` stage covers them).
+
+    ``warm_start`` (or an ambient :func:`warm_start_hint`) seeds the
+    interference fixed point from a previous converged result: tasks on
+    *clean* cores (same mapped task set, same code-level WCET witnesses)
+    start from their previous effective WCETs and contender counts, tasks
+    on dirty cores from the cold state.  Soundness does not rest on the
+    seed: the loop's convergence test re-applies the interference equations
+    from the *current* inputs, so a warm seed can only converge to a genuine
+    fixed point of the current system -- and the converged result is
+    additionally re-validated by the independent
+    :class:`~repro.analysis.certify.FixedPointCertificate` checker before it
+    is returned (refutation or non-convergence falls back to the cold
+    iteration).  Warm-seeded results are *not* stored in the result tier:
+    when the interference equations admit several fixed points a warm seed
+    may legitimately land on a different one than the cold seed, and the
+    content-addressed tier must only ever serve the cold answer.
     """
     # validate the backend up front: a warm result-cache hit returns early,
     # and error behaviour must not depend on the cache state
@@ -386,13 +505,17 @@ def system_level_wcet(
     # warm hit pays nothing here)
     comm_delay = make_edge_latency(htg, platform, mapping, comm_contenders)
 
-    if result_cache is True:  # boolean opt-in == the default derivation
-        result_cache = None
-    if result_cache is None and cache is not None:
-        result_cache = cache.system_results
-    result_key = None
-    if result_cache:
-        result_key = result_cache.result_key(
+    result_tier: "SystemResultCache | None"
+    if result_cache is True or result_cache is None:
+        # boolean opt-in == the default derivation from the code-level cache
+        result_tier = cache.system_results if cache is not None else None
+    elif result_cache is False:
+        result_tier = None
+    else:
+        result_tier = result_cache
+    result_key: str | None = None
+    if result_tier is not None:
+        result_key = result_tier.result_key(
             htg,
             function,
             platform,
@@ -403,7 +526,7 @@ def system_level_wcet(
             models=models,
             comm_delay=comm_delay,
         )
-        memoized = result_cache.get(result_key)
+        memoized = result_tier.get(result_key)
         if memoized is not None:
             if certify:
                 _certify_replayed_result(memoized, htg, platform, order)
@@ -417,31 +540,107 @@ def system_level_wcet(
         base_wcet[tid] = breakdown.total
         shared_accesses[tid] = breakdown.shared_accesses
 
-    effective = dict(base_wcet)
-    contenders: dict[str, int] = {tid: 0 for tid in leaf_ids}
-    intervals: dict[str, Interval] = {}
-    makespan = 0.0
-    converged = False
-    iterations = 0
-
     # only tasks that actually touch shared resources can contend
     sharers = [tid for tid in leaf_ids if shared_accesses[tid] > 0]
     mhp_pass = _pick_mhp_pass(mhp_backend, len(leaf_ids), len(sharers))
     timeline = _TimelineBuilder(htg, mapping, order, comm_delay)
-    for iterations in range(1, max_iterations + 1):
-        intervals, makespan = timeline.build(effective)
-        new_contenders = mhp_pass(leaf_ids, sharers, mapping, intervals)
-        new_effective = {
-            tid: base_wcet[tid]
-            + shared_accesses[tid] * models[mapping[tid]].shared_access_penalty(new_contenders[tid])
-            for tid in leaf_ids
-        }
-        if new_effective == effective and new_contenders == contenders:
-            converged = True
+
+    def iterate(
+        effective: dict[str, float], contenders: dict[str, int]
+    ) -> tuple[dict[str, float], dict[str, int], dict[str, Interval], float, int, bool]:
+        intervals: dict[str, Interval] = {}
+        makespan = 0.0
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            intervals, makespan = timeline.build(effective)
+            new_contenders = mhp_pass(leaf_ids, sharers, mapping, intervals)
+            new_effective = {
+                tid: base_wcet[tid]
+                + shared_accesses[tid]
+                * models[mapping[tid]].shared_access_penalty(new_contenders[tid])
+                for tid in leaf_ids
+            }
+            if new_effective == effective and new_contenders == contenders:
+                converged = True
+                contenders = new_contenders
+                break
+            effective = new_effective
             contenders = new_contenders
-            break
-        effective = new_effective
-        contenders = new_contenders
+        return effective, contenders, intervals, makespan, iterations, converged
+
+    communication = sum(
+        comm_delay(e.src, e.dst)
+        for e in htg.edges
+        if e.src in mapping and e.dst in mapping and mapping[e.src] != mapping[e.dst]
+    )
+
+    def build_result(
+        effective: dict[str, float],
+        contenders: dict[str, int],
+        intervals: dict[str, Interval],
+        makespan: float,
+        iterations: int,
+        converged: bool,
+        warm_info: dict | None,
+    ) -> SystemWcetResult:
+        return SystemWcetResult(
+            makespan=makespan,
+            task_intervals=intervals,
+            task_cores=dict(mapping),
+            task_effective_wcet=effective,
+            task_contenders=contenders,
+            interference_cycles=sum(
+                effective[tid] - base_wcet[tid] for tid in leaf_ids
+            ),
+            communication_cycles=communication,
+            iterations=iterations,
+            converged=converged,
+            task_base_wcet=dict(base_wcet),
+            task_shared_accesses=dict(shared_accesses),
+            warm_info=warm_info,
+        )
+
+    if warm_start is None:
+        warm_start = _WARM_HINT
+    warm_info: dict | None = None
+    if warm_start is not None:
+        seed = _warm_seed(
+            warm_start, leaf_ids, mapping, order, base_wcet, shared_accesses
+        )
+        if seed is None:
+            warm_info = {"warm_started": False, "fallback": "all_cores_dirty"}
+        else:
+            seed_effective, seed_contenders, dirty_cores = seed
+            effective, contenders, intervals, makespan, iterations, converged = iterate(
+                seed_effective, seed_contenders
+            )
+            if converged:
+                candidate = build_result(
+                    effective,
+                    contenders,
+                    intervals,
+                    makespan,
+                    iterations,
+                    True,
+                    warm_info={
+                        "warm_started": True,
+                        "dirty_cores": sorted(dirty_cores),
+                        "clean_cores": sorted(set(order) - dirty_cores),
+                        "iterations": iterations,
+                        "certified": True,
+                    },
+                )
+                if _warm_result_certified(candidate, htg, platform, order):
+                    # deliberately NOT stored in the result tier (see docstring)
+                    return candidate
+                warm_info = {"warm_started": False, "fallback": "refuted"}
+            else:
+                warm_info = {"warm_started": False, "fallback": "not_converged"}
+
+    effective, contenders, intervals, makespan, iterations, converged = iterate(
+        dict(base_wcet), {tid: 0 for tid in leaf_ids}
+    )
     if not converged:
         # Safety fall-back: assume every other core contends on every access.
         # The reported contender counts are re-derived from that assumption so
@@ -458,27 +657,11 @@ def system_level_wcet(
         effective = {tid: max(effective[tid], worst[tid]) for tid in leaf_ids}
         intervals, makespan = timeline.build(effective)
 
-    interference = sum(effective[tid] - base_wcet[tid] for tid in leaf_ids)
-    communication = sum(
-        comm_delay(e.src, e.dst)
-        for e in htg.edges
-        if e.src in mapping and e.dst in mapping and mapping[e.src] != mapping[e.dst]
+    result = build_result(
+        effective, contenders, intervals, makespan, iterations, converged, warm_info
     )
-    result = SystemWcetResult(
-        makespan=makespan,
-        task_intervals=intervals,
-        task_cores=dict(mapping),
-        task_effective_wcet=effective,
-        task_contenders=contenders,
-        interference_cycles=interference,
-        communication_cycles=communication,
-        iterations=iterations,
-        converged=converged,
-        task_base_wcet=dict(base_wcet),
-        task_shared_accesses=dict(shared_accesses),
-    )
-    if result_cache:
-        result_cache.put(result_key, result)
+    if result_tier is not None and result_key is not None:
+        result_tier.put(result_key, result)
     return result
 
 

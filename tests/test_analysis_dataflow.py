@@ -15,7 +15,7 @@ from repro.analysis import (
     truth,
     value_ranges,
 )
-from repro.analysis.value_range import INF, TOP
+from repro.analysis.value_range import TOP
 from repro.ir import FunctionBuilder
 from repro.ir.cfg import build_cfg
 from repro.ir.expressions import Const, Var

@@ -12,7 +12,6 @@ import pytest
 from repro.adl.platforms import generic_predictable_multicore
 from repro.analysis.certify import (
     CertificationError,
-    build_certificates,
     build_ipet_certificate,
     build_schedule_certificate,
     certify_pipeline_result,

@@ -9,12 +9,10 @@ import numpy as np
 import pytest
 
 from repro.frontend import compile_diagram, lower_script
-from repro.frontend.codegen import ModelCompilationError
 from repro.frontend.lowering import ScilabLoweringError
 from repro.ir import FunctionBuilder, to_c
-from repro.ir.expressions import Var, Const
+from repro.ir.expressions import Const
 from repro.ir.interpreter import run_function
-from repro.ir.types import FLOAT, ArrayType
 from repro.model import Diagram, library
 from repro.model.scilab import parse_script
 
@@ -56,7 +54,6 @@ class TestLowering:
         assert "for (int i = 1; i < 5; i++)" in text
 
     def test_if_lowering(self):
-        src = "y = 0\nif u > level then\n  y = 1\nend"
         func, result = self._lower_and_run(
             "y = 0\nif u > 2 then\n  y = 1\nend",
             {"u": "scalar_in", "y": "scalar_local"},

@@ -9,7 +9,6 @@ from repro.htg import extract_htg, is_parallelizable_loop
 from repro.htg.extraction import ExtractionOptions
 from repro.htg.task import TaskKind
 from repro.ir import FunctionBuilder, BinOp, Const
-from repro.ir.statements import For
 from repro.model import Diagram, library
 from repro.scheduling.schedule import default_core_order, evaluate_mapping
 from repro.wcet import (

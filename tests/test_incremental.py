@@ -1,0 +1,381 @@
+"""Tests for the incremental re-analysis engine (PR 8).
+
+The core property: for any seeded edit script,
+:meth:`Pipeline.run_incremental` must produce results bit-identical to a
+cold :meth:`Pipeline.run` on the edited model -- every reuse is either
+proved valid by a content fingerprint or re-validated by an independent
+certificate checker.
+"""
+
+import pytest
+
+from repro.adl.platforms import generic_predictable_multicore
+from repro.analysis.incremental import (
+    IncrementalAnalysisStore,
+    diagram_fingerprint,
+    diff_summaries,
+    mark_reused,
+    stage_input_frontiers,
+)
+from repro.analysis.report import AnalysisReport, Finding
+from repro.core.config import ToolchainConfig
+from repro.core.pipeline import Pipeline, Stage, default_stages
+from repro.scheduling.schedule import default_core_order
+from repro.usecases.workloads import (
+    delete_block,
+    edit_block_param,
+    insert_gain_block,
+    random_edit_script,
+    random_pipeline_diagram,
+    tweak_platform_costs,
+)
+from repro.wcet.cache import WcetAnalysisCache
+from repro.wcet.system_level import system_level_wcet, warm_start_hint
+
+
+def _diagram(seed: int, **kwargs):
+    kwargs.setdefault("stages", 3)
+    kwargs.setdefault("width", 2)
+    kwargs.setdefault("vector_size", 8)
+    return random_pipeline_diagram(seed=seed, **kwargs)
+
+
+def _pipeline(platform=None, config=None, cache=None):
+    return Pipeline(
+        platform or generic_predictable_multicore(cores=4),
+        config or ToolchainConfig(),
+        cache or WcetAnalysisCache(),
+    )
+
+
+def _assert_bit_identical(incremental, cold):
+    assert incremental.schedule.wcet_bound == cold.schedule.wcet_bound
+    assert incremental.schedule.mapping == cold.schedule.mapping
+    assert incremental.schedule.order == cold.schedule.order
+    assert incremental.sequential_bound == cold.sequential_bound
+    inc_res, cold_res = incremental.schedule.result, cold.schedule.result
+    assert inc_res.task_effective_wcet == cold_res.task_effective_wcet
+    assert inc_res.task_intervals == cold_res.task_intervals
+
+
+# ---------------------------------------------------------------------- #
+# fingerprints and frontiers
+# ---------------------------------------------------------------------- #
+def test_diagram_fingerprint_is_content_addressed():
+    a = _diagram(seed=3)
+    b = _diagram(seed=3)
+    assert diagram_fingerprint(a) == diagram_fingerprint(b)
+    edit_block_param(b, seed=0)
+    assert diagram_fingerprint(a) != diagram_fingerprint(b)
+
+
+def test_stage_frontiers_are_none_when_unfingerprintable():
+    frontiers = stage_input_frontiers({"diagram": "d", "config": "c"})
+    assert frontiers["frontend"] is not None
+    assert frontiers["transforms"] is not None
+    assert frontiers["htg"] is None  # function/extraction/platform missing
+    assert frontiers["schedule"] is None
+
+
+def test_artifact_summary_structure():
+    pipe = _pipeline()
+    result = pipe.run(_diagram(seed=5))
+    summary = result.artifact_summary(pipe.wcet_cache)
+    assert set(summary["frontiers"]) == {s.name for s in default_stages()}
+    assert summary["regions"]
+    assert summary["fingerprints"]["function"]
+    # memoized: second call returns the same object
+    assert result.artifact_summary() is summary
+    diff = diff_summaries(summary, summary)
+    assert diff.nothing_changed
+    assert not diff.dirty_stages
+
+
+# ---------------------------------------------------------------------- #
+# run_incremental: reuse paths
+# ---------------------------------------------------------------------- #
+def test_nothing_changed_runs_zero_stages():
+    pipe = _pipeline()
+    base = pipe.run(_diagram(seed=11))
+    result = pipe.run_incremental(base, _diagram(seed=11))
+    report = result.artifacts["incremental_report"]
+    assert report.stages_recomputed == 0
+    assert report.stages_reused == len(default_stages())
+    assert all(r.seconds == 0.0 for r in result.stage_records)
+    assert result.cache_stats["stages_reused"] == len(default_stages())
+    _assert_bit_identical(result, base)
+    # replayed artifacts are the previous run's objects, not copies
+    assert result.htg is base.htg
+    assert result.parallel_program is base.parallel_program
+
+
+def test_single_param_edit_is_incremental_and_bit_identical():
+    cache = WcetAnalysisCache()
+    pipe = _pipeline(cache=cache)
+    base = pipe.run(_diagram(seed=12))
+    edited = _diagram(seed=12)
+    edited_block = edit_block_param(edited, seed=1)
+    result = pipe.run_incremental(base, edited)
+    report = result.artifacts["incremental_report"]
+    assert report.fallback_reason is None
+    assert report.stages["htg"] == "incremental"
+    assert report.regions_recomputed == 1
+    assert report.regions_reused == len(base.model.block_regions) - 1
+    assert list(report.diff.changed_regions) == [edited_block]
+    assert report.stages["parallel"] == "incremental"
+    assert report.race_pairs_reused > 0
+    cold = _pipeline().run(edited)
+    _assert_bit_identical(result, cold)
+
+
+def test_reused_race_findings_carry_provenance():
+    # a schedule with races: everything on separate cores, no sync -> the
+    # race checker reports findings; an incremental re-check of an
+    # unchanged model must replay them with provenance "reused"
+    from repro.analysis.races import incremental_race_check
+    from repro.frontend import compile_diagram
+    from repro.htg import extract_htg
+
+    model = compile_diagram(_diagram(seed=13))
+    htg = extract_htg(model)
+    leaf_ids = [t.task_id for t in htg.leaf_tasks()]
+    mapping = {tid: i % 4 for i, tid in enumerate(leaf_ids)}
+    order = default_core_order(htg, mapping)
+    first, state = incremental_race_check(htg, mapping, order, model.entry)
+    assert all(f.provenance == "computed" for f in first.findings)
+    second, _ = incremental_race_check(
+        htg, mapping, order, model.entry, prev_state=state, changed_tasks=set()
+    )
+    assert second.count("error") == first.count("error")
+    assert second.checked.get("pairs_reused", 0) > 0
+    assert all(f.provenance == "reused" for f in second.findings)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_random_edit_scripts_match_cold(seed):
+    pipe = _pipeline()
+    base = pipe.run(_diagram(seed=seed))
+    edited = _diagram(seed=seed)
+    random_edit_script(edited, num_edits=2, seed=seed + 1000)
+    result = pipe.run_incremental(base, edited)
+    assert result.artifacts["incremental_report"].fallback_reason is None
+    _assert_bit_identical(result, _pipeline().run(edited))
+
+
+@pytest.mark.parametrize("edit", [insert_gain_block, delete_block])
+def test_structural_edits_match_cold(edit):
+    pipe = _pipeline()
+    base = pipe.run(_diagram(seed=21))
+    edited = _diagram(seed=21)
+    edit(edited, seed=2)
+    result = pipe.run_incremental(base, edited)
+    _assert_bit_identical(result, _pipeline().run(edited))
+
+
+def test_platform_cost_tweak_matches_cold():
+    base_platform = generic_predictable_multicore(cores=4)
+    pipe = _pipeline(platform=base_platform)
+    base = pipe.run(_diagram(seed=22))
+    tweaked = tweak_platform_costs(base_platform, seed=5)
+    warm_pipe = Pipeline(tweaked, ToolchainConfig(), pipe.wcet_cache)
+    result = warm_pipe.run_incremental(base, _diagram(seed=22))
+    cold = Pipeline(tweaked, ToolchainConfig(), WcetAnalysisCache()).run(
+        _diagram(seed=22)
+    )
+    _assert_bit_identical(result, cold)
+
+
+def test_everything_changed_recomputes_every_stage():
+    pipe = _pipeline()
+    base = pipe.run(_diagram(seed=23))
+    other_pipe = _pipeline(
+        platform=generic_predictable_multicore(cores=3),
+        config=ToolchainConfig(granularity="loop"),
+        cache=pipe.wcet_cache,
+    )
+    result = other_pipe.run_incremental(base, _diagram(seed=24, stages=4))
+    report = result.artifacts["incremental_report"]
+    assert report.stages_reused == 0
+    assert report.diff.everything_changed
+    cold = Pipeline(
+        generic_predictable_multicore(cores=3),
+        ToolchainConfig(granularity="loop"),
+        WcetAnalysisCache(),
+    ).run(_diagram(seed=24, stages=4))
+    _assert_bit_identical(result, cold)
+
+
+def test_custom_stage_graph_falls_back_to_cold():
+    pipe = _pipeline().with_stage(
+        Stage(
+            name="audit",
+            run=lambda context: {"audit": len(context.artifact("htg").tasks)},
+            consumes=("htg",),
+            produces=("audit",),
+        )
+    )
+    base = pipe.run(_diagram(seed=25))
+    result = pipe.run_incremental(base, _diagram(seed=25))
+    report = result.artifacts["incremental_report"]
+    assert report.fallback_reason is not None
+    assert report.stages_reused == 0
+    assert "audit" in result.artifacts
+
+
+def test_chained_incremental_runs():
+    pipe = _pipeline()
+    previous = pipe.run(_diagram(seed=26))
+    for step in range(3):
+        edited = _diagram(seed=26)
+        random_edit_script(edited, num_edits=step + 1, seed=step)
+        previous = pipe.run_incremental(previous, edited)
+        _assert_bit_identical(previous, _pipeline().run(edited))
+
+
+# ---------------------------------------------------------------------- #
+# warm-started fixed points
+# ---------------------------------------------------------------------- #
+def test_warm_start_matches_cold_fixed_point():
+    from repro.frontend import compile_diagram
+    from repro.htg import extract_htg
+    from repro.wcet import HardwareCostModel
+
+    platform = generic_predictable_multicore(cores=4)
+    cache = WcetAnalysisCache()
+    model = compile_diagram(_diagram(seed=30))
+    htg = extract_htg(model)
+    cache.annotate_htg(htg, model.entry, HardwareCostModel(platform, 0))
+    leaf_ids = sorted(t.task_id for t in htg.leaf_tasks())
+    mapping = {tid: i % 4 for i, tid in enumerate(leaf_ids)}
+    order = default_core_order(htg, mapping)
+    cold = system_level_wcet(htg, model.entry, platform, mapping, order, cache=cache)
+    # a fresh cache avoids the result-tier memo (which would replay the cold
+    # result before the warm path is even considered)
+    warm = system_level_wcet(
+        htg, model.entry, platform, mapping, order,
+        cache=WcetAnalysisCache(), warm_start=cold,
+    )
+    assert warm.makespan == cold.makespan
+    assert warm.task_effective_wcet == cold.task_effective_wcet
+    assert warm.warm_info is not None and warm.warm_info["warm_started"]
+    assert warm.warm_info["certified"]
+    assert warm.warm_info["dirty_cores"] == []
+
+
+def test_warm_start_hint_is_ambient_and_restored():
+    from repro.wcet import system_level
+
+    assert system_level._WARM_HINT is None
+    sentinel = object()
+    with warm_start_hint(sentinel):
+        assert system_level._WARM_HINT is sentinel
+        with warm_start_hint(None):
+            assert system_level._WARM_HINT is None
+        assert system_level._WARM_HINT is sentinel
+    assert system_level._WARM_HINT is None
+
+
+# ---------------------------------------------------------------------- #
+# cache invalidation (satellite)
+# ---------------------------------------------------------------------- #
+def test_invalidate_fingerprints_function():
+    from repro.frontend import compile_diagram
+    from repro.ir.expressions import Const, Var
+    from repro.ir.statements import Assign
+
+    cache = WcetAnalysisCache()
+    model = compile_diagram(_diagram(seed=31))
+    before = cache.function_fingerprint(model.entry)
+    model.entry.body.append(Assign(Var("extra"), Const(1.0)))
+    # without invalidation the memo is stale (documented UB)...
+    assert cache.function_fingerprint(model.entry) == before
+    # ...and invalidate_fingerprints drops it
+    cache.invalidate_fingerprints(model.entry)
+    assert cache.function_fingerprint(model.entry) != before
+
+
+def test_invalidate_fingerprints_htg_and_model():
+    from repro.frontend import compile_diagram
+    from repro.htg import extract_htg
+    from repro.wcet import HardwareCostModel
+
+    cache = WcetAnalysisCache()
+    model = compile_diagram(_diagram(seed=32))
+    htg = extract_htg(model)
+    task = next(t for t in htg.leaf_tasks() if t.statements is not None)
+    fp = cache.region_fingerprint(task.statements)
+    assert cache.region_fingerprint(task.statements) == fp
+    cache.invalidate_fingerprints(htg)
+    assert cache.region_fingerprint(task.statements) == fp  # recomputed, equal
+    cost = HardwareCostModel(generic_predictable_multicore(cores=2), 0)
+    cache.model_signature(cost)
+    cache.invalidate_fingerprints(cost)
+    with pytest.raises(TypeError):
+        cache.invalidate_fingerprints(42)
+
+
+# ---------------------------------------------------------------------- #
+# report replay (satellite)
+# ---------------------------------------------------------------------- #
+def test_finding_provenance_validation():
+    finding = Finding(code="x", message="m")
+    assert finding.provenance == "computed"
+    assert finding.as_dict()["provenance"] == "computed"
+    with pytest.raises(ValueError):
+        Finding(code="x", message="m", provenance="guessed")
+
+
+def test_mark_reused_sets_provenance():
+    report = AnalysisReport("demo")
+    report.add(Finding(code="a", message="m", severity="warning"))
+    reused = mark_reused(report)
+    assert all(f.provenance == "reused" for f in reused.findings)
+    assert reused.checked["reused"] == 1
+    # the original is untouched
+    assert all(f.provenance == "computed" for f in report.findings)
+
+
+def test_incremental_analysis_store_roundtrip():
+    store = IncrementalAnalysisStore(max_entries=2)
+    report = AnalysisReport("demo")
+    report.add(Finding(code="a", message="m"))
+    assert store.reports_for("fp1") is None
+    store.record("fp1", [report])
+    replayed = store.reports_for("fp1")
+    assert replayed is not None
+    assert replayed[0].findings[0].provenance == "reused"
+    assert (store.hits, store.misses) == (1, 1)
+    store.record("fp2", [])
+    store.record("fp3", [])  # evicts fp1
+    assert len(store) == 2
+    assert store.reports_for("fp1") is None
+
+
+# ---------------------------------------------------------------------- #
+# diff CLI
+# ---------------------------------------------------------------------- #
+def test_diff_cli_same_target(capsys):
+    from repro.cli import main
+
+    assert main(["diff", "polka", "polka"]) == 0
+    out = capsys.readouterr().out
+    assert "stage htg" in out and "reused" in out
+    assert "replayed (provenance=reused)" in out
+
+
+def test_diff_cli_json(capsys):
+    import json
+
+    from repro.cli import main
+
+    assert main(["diff", "polka", "polka", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["report"]["stages_recomputed"] == 0
+    assert payload["code_level_replayed"] is True
+    assert payload["old_wcet_bound"] == payload["new_wcet_bound"]
+
+
+def test_diff_cli_unknown_target():
+    from repro.cli import main
+
+    assert main(["diff", "polka", "no_such_target"]) == 2

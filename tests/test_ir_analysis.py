@@ -8,8 +8,6 @@ from repro.ir import (
     BinOp,
     Const,
     FunctionBuilder,
-    Interpreter,
-    Var,
     build_cfg,
 )
 from repro.ir.analysis import (
@@ -20,8 +18,7 @@ from repro.ir.analysis import (
     shared_access_summary,
 )
 from repro.ir.interpreter import InterpreterError, run_function
-from repro.ir.loops import LoopBoundError, all_loops, loop_trip_count, max_loop_depth
-from repro.ir.statements import For, Block
+from repro.ir.loops import LoopBoundError, all_loops, max_loop_depth
 from repro.ir.types import INT
 
 

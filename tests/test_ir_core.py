@@ -17,7 +17,6 @@ from repro.ir import (
     If,
     Return,
     ScalarKind,
-    ScalarType,
     UnOp,
     Var,
     While,

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.adl.platforms import generic_predictable_multicore
-from repro.frontend import compile_diagram
 from repro.htg import extract_htg
 from repro.htg.extraction import ExtractionOptions
-from repro.model import Diagram, library
 from repro.scheduling import (
     WcetAwareListScheduler,
     acet_driven_schedule,

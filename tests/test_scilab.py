@@ -1,6 +1,5 @@
 """Tests for the mini-Scilab lexer, parser and interpreter."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """End-to-end tests: the ARGO tool chain on the three paper use cases."""
 
-import numpy as np
 import pytest
 
 from repro.adl.platforms import (
@@ -11,7 +10,6 @@ from repro.adl.platforms import (
 from repro.core import ArgoToolchain, ToolchainConfig, ToolchainError, toolchain_summary
 from repro.core.feedback import CrossLayerFeedback
 from repro.core.reporting import bottleneck_report
-from repro.model import Diagram, library
 from repro.usecases import (
     ALL_USECASES,
     build_egpws_diagram,
@@ -128,13 +126,11 @@ class TestToolchainEndToEnd:
             ToolchainConfig(loop_chunks=0)
 
     def test_alternative_schedulers_through_config(self, platform):
-        diagram = build_polka_diagram(pixels=32)
         for scheduler in ("sequential", "acet_list", "simulated_annealing"):
             result = ArgoToolchain(
                 platform, ToolchainConfig(loop_chunks=2, scheduler=scheduler)
             ).run(build_polka_diagram(pixels=32))
             assert result.system_wcet > 0
-        del diagram
 
     def test_platform_retargeting(self):
         """The same model runs on all three platform families (E7)."""
