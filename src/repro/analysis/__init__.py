@@ -43,11 +43,38 @@ top, element writes update the whole array weakly); the domains are
 non-relational; shared/state variables are top at function entry because
 other cores and earlier activations may have written them; float
 comparisons refine without the one-integer shrink applied to ``int``-typed
-operands; sibling loop chunks of a split loop are assumed to access
-disjoint index slices (the same assumption the HTG builder makes when it
-omits edges between them).  Within those limits every reported fact is an
+operands.  Within those limits every reported fact is an
 over-approximation of the concrete semantics implemented by
 :mod:`repro.ir.interpreter`.
+
+**Memory footprints and static interference**
+(:mod:`~repro.analysis.footprints`, :mod:`~repro.analysis.static_mhp`).
+Per-task footprints bound which *elements* of the shared arrays a task may
+touch: first-dimension index intervals evaluated in the loop-nest
+environment, endpoint-truncated exactly like the interpreter truncates
+indices, with anything unprovable (symbolic strides, reassigned indices,
+declared-but-unwalked names) widening to the whole array.  Footprints
+answer two different questions and the distinction is load-bearing:
+
+* *conflict-freedom* (no write-write / write-read element overlap) is what
+  the race checker needs -- read-read overlap is fine;
+* *address-disjointness* (no overlap of any kind, reads included) is what
+  interference pruning needs -- two readers of one bank still collide on
+  the interconnect.
+
+What footprints do **not** prove: per-element orderings within an
+overlapping region, anything about scalars for address-disjointness (the
+shared-access counters are array-only by construction), or multi-dim
+disjointness beyond the first index.  The historical *assumption* that
+sibling loop chunks of a split loop write disjoint slices is retired: the
+race checker now *proves* chunk disjointness from footprints and degrades
+to a ``race.chunk-overlap-unproven`` warning when it cannot -- never a
+silent pass.  The static-MHP relation built on top
+(:func:`~repro.analysis.static_mhp.compute_static_mhp`) excludes
+dependence-ordered pairs (count-preserving, pure speedup) and
+address-disjoint pairs (tightening, models banked arbitration; opt-in via
+``static_pruning``), and every exclusion is re-provable by the independent
+:class:`~repro.analysis.certify.ContentionCertificate` checker.
 
 **Flow-fact format** (:class:`repro.wcet.ipet.FlowFacts`): infeasible
 edges are stable CFG edge keys ``(src bid, dst bid, kind)`` pinned to
@@ -127,10 +154,18 @@ for serialization):
   and a zero duality gap.
 * :class:`~repro.analysis.certify.FixedPointCertificate` -- per-task
   windows, effective/base WCETs, shared-access counts, contender counts,
-  the penalty table and edge delays.  The checker re-derives contention
-  from the claimed windows and re-applies the interference equations
+  the penalty table and edge delays, plus the pruned contender skeleton
+  (``allowed``) when the run used ``static_pruning``.  The checker
+  re-derives contention from the claimed windows (restricted to the
+  skeleton when present) and re-applies the interference equations
   once: any component they can still increase refutes the claimed fixed
   point.
+* :class:`~repro.analysis.certify.ContentionCertificate` -- the static-MHP
+  skeleton itself.  The checker re-proves every excluded cross-core
+  sharer pair ordered (its own reachability search over the HTG edges) or
+  address-disjoint (its own footprint walker and interval arithmetic);
+  a fabricated disjointness claim or a dropped happens-before edge is a
+  ``certify.contention.unjustified-exclusion`` refutation.
 
 What the checkers do **not** prove: the ground-truth inputs they carry
 verbatim (per-block cycle costs, isolated WCETs, shared-access counts --
@@ -147,11 +182,20 @@ checkers; cache replays re-validate via
 from repro.analysis.certify import (
     CertificateChain,
     CertificationError,
+    ContentionCertificate,
     FixedPointCertificate,
     IpetCertificate,
     ScheduleCertificate,
     build_certificates,
     certify_pipeline_result,
+)
+from repro.analysis.footprints import (
+    FootprintStore,
+    TaskFootprint,
+    footprints_address_disjoint,
+    footprints_conflict_free,
+    task_footprint,
+    task_footprints,
 )
 from repro.analysis.dataflow import (
     DataflowAnalysis,
@@ -186,6 +230,7 @@ from repro.analysis.report import (
     Finding,
     severity_at_least,
 )
+from repro.analysis.static_mhp import StaticMhpRelation, compute_static_mhp
 from repro.analysis.value_range import (
     ValueRange,
     ValueRangeAnalysis,
@@ -201,6 +246,7 @@ __all__ = [
     "AnalysisReport",
     "CertificateChain",
     "CertificationError",
+    "ContentionCertificate",
     "DataflowAnalysis",
     "DataflowResult",
     "DEF_EXTERNAL",
@@ -208,6 +254,7 @@ __all__ = [
     "Finding",
     "FingerprintDiff",
     "FixedPointCertificate",
+    "FootprintStore",
     "IRVerifierPass",
     "IncrementalAnalysisStore",
     "IncrementalReport",
@@ -217,6 +264,8 @@ __all__ = [
     "ReachingDefinitions",
     "SEVERITIES",
     "ScheduleCertificate",
+    "StaticMhpRelation",
+    "TaskFootprint",
     "ValueRange",
     "ValueRangeAnalysis",
     "assume",
@@ -224,18 +273,23 @@ __all__ = [
     "certify_pipeline_result",
     "check_races",
     "check_schedule_races",
+    "compute_static_mhp",
     "dead_stores",
     "definitely_uninitialized_uses",
     "derive_flow_facts",
     "diagram_fingerprint",
     "diff_summaries",
     "eval_range",
+    "footprints_address_disjoint",
+    "footprints_conflict_free",
     "incremental_race_check",
     "liveness",
     "reaching_definitions",
     "run_dataflow",
     "severity_at_least",
     "summarize_result",
+    "task_footprint",
+    "task_footprints",
     "tightened_ipet_wcet",
     "truth",
     "value_ranges",

@@ -32,6 +32,11 @@ from repro.analysis.certify.chain import (
     build_certificates,
     certify_pipeline_result,
 )
+from repro.analysis.certify.contention_cert import (
+    ContentionCertificate,
+    build_contention_certificate,
+    check_contention_certificate,
+)
 from repro.analysis.certify.fixed_point_cert import (
     FixedPointCertificate,
     build_fixed_point_certificate,
@@ -51,14 +56,17 @@ from repro.analysis.certify.schedule_cert import (
 __all__ = [
     "CertificateChain",
     "CertificationError",
+    "ContentionCertificate",
     "FixedPointCertificate",
     "IpetCertificate",
     "ScheduleCertificate",
     "build_certificates",
+    "build_contention_certificate",
     "build_fixed_point_certificate",
     "build_ipet_certificate",
     "build_schedule_certificate",
     "certify_pipeline_result",
+    "check_contention_certificate",
     "check_fixed_point_certificate",
     "check_ipet_certificate",
     "check_schedule_certificate",

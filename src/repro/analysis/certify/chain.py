@@ -18,6 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.certify.contention_cert import (
+    ContentionCertificate,
+    build_contention_certificate,
+    check_contention_certificate,
+)
 from repro.analysis.certify.fixed_point_cert import (
     FixedPointCertificate,
     build_fixed_point_certificate,
@@ -58,6 +63,9 @@ class CertificateChain:
     fixed_point: FixedPointCertificate
     ipet: IpetCertificate
     reports: list[AnalysisReport] = field(default_factory=list)
+    #: Present only when the certified run pruned its contender derivation
+    #: (``static_pruning``): the pruned skeleton needs its own justification.
+    contention: ContentionCertificate | None = None
 
     @property
     def ok(self) -> bool:
@@ -75,6 +83,7 @@ class CertificateChain:
                 self.schedule.as_dict(),
                 self.fixed_point.as_dict(),
                 self.ipet.as_dict(),
+                *([self.contention.as_dict()] if self.contention is not None else []),
             ],
             "reports": [report.as_dict() for report in self.reports],
         }
@@ -101,16 +110,28 @@ def build_certificates(
     )
     fp_report = check_fixed_point_certificate(fp_cert, htg, platform)
 
+    contention_cert = None
+    reports = [schedule_report, fp_report]
+    if getattr(schedule.result, "mhp_allowed", None) is not None:
+        contention_cert = build_contention_certificate(
+            schedule.result, htg, function
+        )
+        reports.append(
+            check_contention_certificate(contention_cert, htg, function)
+        )
+
     model = HardwareCostModel(platform, platform.cores[0].core_id)
     ipet_result = ipet_wcet(function, model, flow_facts)
     ipet_cert = build_ipet_certificate(ipet_result, function.name)
     ipet_report = check_ipet_certificate(ipet_cert, function=function)
+    reports.append(ipet_report)
 
     return CertificateChain(
         schedule=schedule_cert,
         fixed_point=fp_cert,
         ipet=ipet_cert,
-        reports=[schedule_report, fp_report, ipet_report],
+        reports=reports,
+        contention=contention_cert,
     )
 
 

@@ -72,8 +72,20 @@ class FixedPointCertificate:
     penalty: dict[int, list[float]] = field(default_factory=dict)
     #: priced worst-case delay of every cross-core HTG edge
     edge_delays: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: static-MHP contender skeleton of the claimed result (``None`` for
+    #: unpruned results).  The checker restricts its fresh MHP derivation to
+    #: the listed sharers per task; a task *missing* from the skeleton is
+    #: derived unrestricted, which can only refute, never falsely accept.
+    #: Whether the skeleton itself is justified is the contention
+    #: certificate's job (:mod:`~repro.analysis.certify.contention_cert`).
+    allowed: dict[str, list[str]] | None = None
 
     def as_dict(self) -> dict:
+        extra = (
+            {"allowed": {tid: list(o) for tid, o in sorted(self.allowed.items())}}
+            if self.allowed is not None
+            else {}
+        )
         return {
             "kind": "fixed_point",
             "htg": self.htg_name,
@@ -93,6 +105,7 @@ class FixedPointCertificate:
                 f"{src}->{dst}": delay
                 for (src, dst), delay in sorted(self.edge_delays.items())
             },
+            **extra,
         }
 
 
@@ -150,6 +163,11 @@ def build_fixed_point_certificate(
         shared=shared,
         penalty=penalty,
         edge_delays=delays,
+        allowed=(
+            {tid: list(others) for tid, others in result.mhp_allowed.items()}
+            if getattr(result, "mhp_allowed", None) is not None
+            else None
+        ),
     )
 
 
@@ -262,26 +280,48 @@ def check_fixed_point_certificate(
     report.bump("tasks_checked", len(tids))
 
     # -- one fresh application of the interference equations ------------- #
-    # sharer windows grouped by core, so the per-task scan skips the
-    # same-core cases up front and adds at most one contender per core
-    sharers_by_core: dict[int, list[tuple[float, float]]] = {}
+    # per-sharer windows keyed by id so a claimed static-MHP skeleton can
+    # restrict the derivation per task; distinct-core counting is identical
+    # to the old grouped-by-core scan
+    sharer_windows: dict[str, tuple[int, float, float]] = {}
     for tid in tids:
         if cert.shared.get(tid, 0) > 0:
-            sharers_by_core.setdefault(cert.mapping[tid], []).append(
-                (cert.starts[tid], cert.finishes[tid])
+            sharer_windows[tid] = (
+                cert.mapping[tid], cert.starts[tid], cert.finishes[tid]
             )
+    if cert.allowed is not None:
+        unknown = sorted(
+            {o for others in cert.allowed.values() for o in others}
+            - set(sharer_windows)
+        )
+        if unknown:
+            fail(
+                "certify.fixed-point.allowed-unknown",
+                "static-MHP skeleton names non-sharer task(s) "
+                f"{', '.join(unknown)}; they cannot contend and are ignored",
+                severity="warning",
+            )
+    all_windows = list(sharer_windows.values())
     for tid in tids:
         own_core = cert.mapping[tid]
         own_start = cert.starts[tid]
         own_finish = cert.finishes[tid]
-        derived_contenders = 0
-        for core, windows in sharers_by_core.items():
+        if cert.allowed is not None and tid in cert.allowed:
+            candidates = [
+                sharer_windows[o]
+                for o in cert.allowed[tid]
+                if o in sharer_windows
+            ]
+        else:
+            # no skeleton entry: derive unrestricted (refutation-safe)
+            candidates = all_windows
+        contending_cores = set()
+        for core, start, finish in candidates:
             if core == own_core:
                 continue
-            for start, finish in windows:
-                if own_start < finish and start < own_finish:
-                    derived_contenders += 1
-                    break
+            if own_start < finish and start < own_finish:
+                contending_cores.add(core)
+        derived_contenders = len(contending_cores)
         row = penalty.get(cert.mapping[tid])
         if row is None or derived_contenders >= len(row):
             fail(

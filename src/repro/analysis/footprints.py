@@ -1,0 +1,410 @@
+"""Per-task shared-memory footprints with index intervals.
+
+For every leaf task this analysis computes *which* shared variables the
+task's statements may touch, and for shared arrays *where*: a closed
+interval over-approximating every first-dimension index the task can use.
+Index intervals come from :mod:`repro.analysis.value_range` expression
+evaluation under the loop-index environment built while walking the task's
+statements; any index the evaluator cannot bound degrades to the whole
+array, so the footprint over-approximates by construction.
+
+Two consumers, two different questions:
+
+* :func:`footprints_conflict_free` -- the race checker's question: can the
+  two tasks conflict (write-write or write-read overlap) on any shared
+  variable?  Shared *scalars* participate (a scalar is a single cell, its
+  footprint is the whole cell); read-read overlap is fine.  This is what
+  replaces the old blanket loop-chunk exemption with an actual proof.
+* :func:`footprints_address_disjoint` -- the static-MHP question: can the
+  two tasks touch a common shared-array element at all?  *Any* access
+  overlap (reads included) blocks pruning, because the interference model
+  charges contention per access, not per conflict.  Shared scalars are
+  ignored here: the system-level analysis only counts shared *array*
+  accesses as interference-prone (see
+  :func:`repro.ir.analysis.shared_access_summary`).
+
+Soundness notes:
+
+* Only the first index of a multi-dimensional access is tracked.  Two
+  accesses with disjoint first-index intervals address disjoint element
+  sets regardless of the remaining dimensions, so the one-dimensional test
+  is sound (merely imprecise for column-wise sharing).
+* The interpreter truncates every index expression to ``int`` before the
+  access, so recorded intervals are truncated endpoint-wise
+  (``trunc`` is monotone; without it ``[-0.5, -0.2]`` and ``[0.2, 0.5]``
+  would look disjoint while both address element 0).
+* Tasks run mid-function: declared initial values of locals may have been
+  overwritten by earlier tasks, so expression evaluation starts from an
+  empty environment (everything top) and only ``for``-loop indices are
+  constrained.  A statement assigning a tracked index kills its range.
+* Hand-built tasks may declare read/write sets their ``statements`` block
+  does not contain (the extractor always keeps them in sync).  Any
+  declared-but-unseen shared name is merged as a *whole* footprint, so a
+  declared access can never be silently dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.value_range import INF, TOP, Env, ValueRange, eval_range
+from repro.htg.task import Task
+from repro.ir.expressions import ArrayRef, Expr, Var
+from repro.ir.printer import to_c
+from repro.ir.program import Function, Storage
+from repro.ir.statements import (
+    Assign,
+    Block,
+    ExprStmt,
+    For,
+    If,
+    Return,
+    Stmt,
+    While,
+)
+
+#: Storage classes visible to every core (mirrors ``races.SHARED_STORAGE``;
+#: redeclared here because :mod:`repro.analysis.races` imports this module).
+SHARED_STORAGE = (Storage.SHARED, Storage.INPUT, Storage.OUTPUT)
+
+
+@dataclass(frozen=True)
+class TaskFootprint:
+    """Over-approximated shared-memory footprint of one task.
+
+    ``array_reads`` / ``array_writes`` map shared array names to the closed
+    interval of first-dimension indices the task may use (``TOP`` = the
+    whole array).  ``scalar_reads`` / ``scalar_writes`` are the shared
+    scalars touched (each is one cell, so no interval is needed).
+    """
+
+    task_id: str
+    array_reads: dict[str, ValueRange] = field(default_factory=dict)
+    array_writes: dict[str, ValueRange] = field(default_factory=dict)
+    scalar_reads: frozenset[str] = frozenset()
+    scalar_writes: frozenset[str] = frozenset()
+
+    def touched(self) -> frozenset[str]:
+        return frozenset(
+            set(self.array_reads)
+            | set(self.array_writes)
+            | self.scalar_reads
+            | self.scalar_writes
+        )
+
+    def as_dict(self) -> dict:
+        def ranges(acc: dict[str, ValueRange]) -> dict[str, list[float]]:
+            return {name: [acc[name].lo, acc[name].hi] for name in sorted(acc)}
+
+        return {
+            "task": self.task_id,
+            "array_reads": ranges(self.array_reads),
+            "array_writes": ranges(self.array_writes),
+            "scalar_reads": sorted(self.scalar_reads),
+            "scalar_writes": sorted(self.scalar_writes),
+        }
+
+
+def _trunc(x: float) -> float:
+    """Endpoint-wise ``int()`` truncation; monotone, infinity-preserving."""
+    if x == INF or x == -INF:
+        return x
+    return float(math.trunc(x))
+
+
+def _index_interval(rng: ValueRange) -> ValueRange:
+    return ValueRange(_trunc(rng.lo), _trunc(rng.hi))
+
+
+def iteration_value_range(stmt: For, env: Env) -> ValueRange | None:
+    """Interval of the values the loop *body* can observe in the index.
+
+    Unlike :meth:`ValueRangeAnalysis._header_index_range` this excludes the
+    final header visit that fails the loop test -- the body never sees that
+    overshoot value.  Returns ``None`` when the loop provably never runs.
+    The interpreter truncates both bounds to ``int`` before iterating, so
+    the endpoints are truncated the same way.
+    """
+    lo_r = eval_range(stmt.lower, env)
+    up_r = eval_range(stmt.upper, env)
+    if stmt.step > 0:
+        lo = _trunc(lo_r.lo)
+        hi = _trunc(up_r.hi) - 1 if up_r.hi < INF else INF
+    else:
+        lo = _trunc(up_r.lo) + 1 if up_r.lo > -INF else -INF
+        hi = _trunc(lo_r.hi)
+    if lo > hi:
+        return None
+    return ValueRange(lo, hi)
+
+
+class _FootprintWalker:
+    def __init__(self, function: Function) -> None:
+        self.shared_arrays: set[str] = set()
+        self.shared_scalars: set[str] = set()
+        for decl in function.all_decls():
+            if decl.storage in SHARED_STORAGE:
+                (self.shared_arrays if decl.is_array else self.shared_scalars).add(
+                    decl.name
+                )
+        self.array_reads: dict[str, ValueRange] = {}
+        self.array_writes: dict[str, ValueRange] = {}
+        self.scalar_reads: set[str] = set()
+        self.scalar_writes: set[str] = set()
+
+    def _record(self, acc: dict[str, ValueRange], name: str, rng: ValueRange) -> None:
+        cur = acc.get(name)
+        acc[name] = rng if cur is None else cur.hull(rng)
+
+    def _read_expr(self, expr: Expr, env: Env) -> None:
+        for node in expr.walk():
+            if isinstance(node, ArrayRef):
+                if node.array in self.shared_arrays:
+                    self._record(
+                        self.array_reads,
+                        node.array,
+                        _index_interval(eval_range(node.indices[0], env)),
+                    )
+            elif isinstance(node, Var) and node.name in self.shared_scalars:
+                self.scalar_reads.add(node.name)
+
+    def walk(self, stmt: Stmt, env: Env) -> None:
+        if isinstance(stmt, Assign):
+            for expr in stmt.expressions():
+                self._read_expr(expr, env)
+            target = stmt.target
+            if isinstance(target, ArrayRef):
+                if target.array in self.shared_arrays:
+                    self._record(
+                        self.array_writes,
+                        target.array,
+                        _index_interval(eval_range(target.indices[0], env)),
+                    )
+            else:
+                if target.name in self.shared_scalars:
+                    self.scalar_writes.add(target.name)
+                # flow-insensitive soundness: a tracked index that gets
+                # reassigned can no longer be bounded by its loop range
+                env.pop(target.name, None)
+            return
+        if isinstance(stmt, (Return, ExprStmt)):
+            for expr in stmt.expressions():
+                self._read_expr(expr, env)
+            return
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self.walk(child, env)
+            return
+        if isinstance(stmt, If):
+            self._read_expr(stmt.cond, env)
+            self.walk(stmt.then_body, env)
+            self.walk(stmt.else_body, env)
+            return
+        if isinstance(stmt, For):
+            for expr in stmt.expressions():
+                self._read_expr(expr, env)
+            rng = iteration_value_range(stmt, env)
+            if rng is None:  # provably zero-trip: the body never executes
+                return
+            name = stmt.index.name
+            saved = env.get(name)
+            env[name] = rng
+            self.walk(stmt.body, env)
+            if saved is None:
+                env.pop(name, None)
+            else:
+                env[name] = saved
+            return
+        if isinstance(stmt, While):
+            self._read_expr(stmt.cond, env)
+            self.walk(stmt.body, env)
+            return
+        raise TypeError(f"unsupported statement {type(stmt).__name__}")
+
+
+def task_footprint(function: Function, task: Task) -> TaskFootprint:
+    """Sound shared-memory footprint of ``task`` (see the module docstring)."""
+    walker = _FootprintWalker(function)
+    walker.walk(task.statements, {})
+    # merge declared-but-unseen shared names as whole footprints: hand-built
+    # tasks may declare accesses their statements block does not contain
+    for name in task.reads:
+        if name in walker.shared_arrays and name not in walker.array_reads:
+            walker.array_reads[name] = TOP
+        elif name in walker.shared_scalars:
+            walker.scalar_reads.add(name)
+    for name in task.writes:
+        if name in walker.shared_arrays and name not in walker.array_writes:
+            walker.array_writes[name] = TOP
+        elif name in walker.shared_scalars:
+            walker.scalar_writes.add(name)
+    return TaskFootprint(
+        task_id=task.task_id,
+        array_reads=walker.array_reads,
+        array_writes=walker.array_writes,
+        scalar_reads=frozenset(walker.scalar_reads),
+        scalar_writes=frozenset(walker.scalar_writes),
+    )
+
+
+def _overlap(a: ValueRange, b: ValueRange) -> bool:
+    """Closed-interval overlap (indices are integers; endpoints count)."""
+    return a.lo <= b.hi and b.lo <= a.hi
+
+
+def footprints_conflict_free(a: TaskFootprint, b: TaskFootprint) -> bool:
+    """Prove no write-write or write-read overlap on any shared variable.
+
+    This is the obligation the race checker's loop-chunk exemption must
+    discharge: read-read sharing is harmless, every other overlap is a
+    potential race.
+    """
+    if a.scalar_writes & (b.scalar_writes | b.scalar_reads):
+        return False
+    if b.scalar_writes & a.scalar_reads:
+        return False
+    for name, wa in a.array_writes.items():
+        other = b.array_writes.get(name)
+        if other is not None and _overlap(wa, other):
+            return False
+        other = b.array_reads.get(name)
+        if other is not None and _overlap(wa, other):
+            return False
+    for name, wb in b.array_writes.items():
+        other = a.array_reads.get(name)
+        if other is not None and _overlap(wb, other):
+            return False
+    return True
+
+
+def footprints_address_disjoint(a: TaskFootprint, b: TaskFootprint) -> bool:
+    """Prove the two tasks touch no common shared-array element.
+
+    Reads count: the interference model charges every shared-array access,
+    so only fully address-disjoint tasks can be excluded from each other's
+    contender sets.  Shared scalars are ignored (they generate no counted
+    interference accesses).
+    """
+    for name, ranges_a in _access_ranges(a).items():
+        ranges_b = _access_ranges_for(b, name)
+        if not ranges_b:
+            continue
+        for ra in ranges_a:
+            for rb in ranges_b:
+                if _overlap(ra, rb):
+                    return False
+    return True
+
+
+def _access_ranges(fp: TaskFootprint) -> dict[str, list[ValueRange]]:
+    out: dict[str, list[ValueRange]] = {}
+    for name, rng in fp.array_reads.items():
+        out.setdefault(name, []).append(rng)
+    for name, rng in fp.array_writes.items():
+        out.setdefault(name, []).append(rng)
+    return out
+
+
+def _access_ranges_for(fp: TaskFootprint, name: str) -> list[ValueRange]:
+    out = []
+    rng = fp.array_reads.get(name)
+    if rng is not None:
+        out.append(rng)
+    rng = fp.array_writes.get(name)
+    if rng is not None:
+        out.append(rng)
+    return out
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+class FootprintStore:
+    """Fingerprint-keyed LRU memo of task footprints.
+
+    A footprint is a pure function of the task's statements, its declared
+    read/write sets and the function's declaration table -- the same
+    context/region fingerprint scheme the code-level WCET cache uses, so
+    an incremental re-run recomputes footprints only for edited regions.
+    Pass the run's :class:`~repro.wcet.cache.WcetAnalysisCache` to share
+    its memoized fingerprints instead of re-rendering regions.
+    """
+
+    def __init__(self, wcet_cache=None, max_entries: int = 4096) -> None:
+        self._cache = wcet_cache
+        self._max_entries = max_entries
+        self._entries: OrderedDict[str, TaskFootprint] = OrderedDict()
+        self._context_fps: dict[int, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _context_fingerprint(self, function: Function) -> str:
+        if self._cache is not None:
+            return self._cache.function_context_fingerprint(function)
+        cached = self._context_fps.get(id(function))
+        if cached is None:
+            decls = sorted(
+                (d.name, str(d.type), d.storage.name) for d in function.all_decls()
+            )
+            cached = _digest(json.dumps(decls, separators=(",", ":")))
+            self._context_fps[id(function)] = cached
+            try:
+                weakref.finalize(function, self._context_fps.pop, id(function), None)
+            except TypeError:  # pragma: no cover - Function is weakref-able
+                pass
+        return cached
+
+    def key(self, function: Function, task: Task) -> str:
+        if self._cache is not None:
+            region_fp = self._cache.region_fingerprint(task.statements)
+        else:
+            region_fp = _digest(to_c(task.statements))
+        declared = _digest(
+            json.dumps(
+                [sorted(task.reads), sorted(task.writes)], separators=(",", ":")
+            )
+        )
+        return "|".join((self._context_fingerprint(function), region_fp, declared))
+
+    def footprint(self, function: Function, task: Task) -> TaskFootprint:
+        key = self.key(function, task)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached if cached.task_id == task.task_id else replace(
+                cached, task_id=task.task_id
+            )
+        self.misses += 1
+        fp = task_footprint(function, task)
+        self._entries[key] = fp
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+        return fp
+
+
+_DEFAULT_STORE: FootprintStore | None = None
+
+
+def default_footprint_store() -> FootprintStore:
+    """Process-wide footprint memo (same idiom as ``shared_cache()``)."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = FootprintStore()
+    return _DEFAULT_STORE
+
+
+def task_footprints(
+    function: Function,
+    tasks: "list[Task]",
+    store: FootprintStore | None = None,
+) -> dict[str, TaskFootprint]:
+    """Footprints of ``tasks`` keyed by task id (memoized via ``store``)."""
+    store = store if store is not None else default_footprint_store()
+    return {t.task_id: store.footprint(function, t) for t in tasks}

@@ -13,11 +13,14 @@ that conflict on a *shared* variable (write-write or read-write on a
 pair mapped to different cores is reported as a race -- before any C code
 is emitted.
 
-Sibling loop chunks of the same split loop are exempt: the extractor
-creates them to write *disjoint index slices* of the same buffers, which
-the name-granular read/write sets cannot express.  That exemption is the
-single trusted assumption of the checker and mirrors the one the HTG
-builder itself makes when it omits dependence edges between chunks.
+Sibling loop chunks of the same split loop conflict at name granularity
+by construction (they touch the same buffers), so their disjointness is
+no longer assumed but *proved*: the memory-footprint analysis
+(:mod:`repro.analysis.footprints`) must show the index slices they access
+conflict-free (no write-write or write-read overlap).  A chunk pair whose
+disjointness cannot be discharged is reported as a
+``race.chunk-overlap-unproven`` **warning** -- soundness-relevant but
+survivable, and never a silent pass.
 
 Incremental re-checking
 -----------------------
@@ -44,6 +47,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.analysis.footprints import (
+    TaskFootprint,
+    default_footprint_store,
+    footprints_conflict_free,
+)
 from repro.analysis.report import AnalysisReport, Finding
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task, TaskKind
@@ -55,7 +63,7 @@ SHARED_STORAGE = (Storage.SHARED, Storage.INPUT, Storage.OUTPUT)
 
 
 def _chunk_siblings(a: Task, b: Task) -> bool:
-    """True for loop chunks of the same split loop (disjoint by construction)."""
+    """True for loop chunks of the same split loop (intended to be disjoint)."""
     return (
         a.kind is TaskKind.LOOP_CHUNK
         and b.kind is TaskKind.LOOP_CHUNK
@@ -106,13 +114,11 @@ def _scan_pair(
     mapping: dict[str, int],
     function: Function,
     report: AnalysisReport,
+    footprint_of,
 ) -> None:
     report.bump("pairs_checked")
     if (a.task_id, b.task_id) in ordered or (b.task_id, a.task_id) in ordered:
         report.bump("pairs_ordered")
-        return
-    if _chunk_siblings(a, b):
-        report.bump("chunk_pairs_exempt")
         return
     write_write = a.writes & b.writes & shared_names
     write_read = (a.writes & b.reads | a.reads & b.writes) & shared_names
@@ -120,6 +126,25 @@ def _scan_pair(
         report.bump("pairs_disjoint")
         return
     conflict = sorted(write_write | write_read)
+    if _chunk_siblings(a, b):
+        if footprints_conflict_free(footprint_of(a), footprint_of(b)):
+            report.bump("chunk_pairs_proved_disjoint")
+            return
+        report.add(
+            Finding(
+                code="race.chunk-overlap-unproven",
+                message=(
+                    f"sibling loop chunks {a.task_id!r} and {b.task_id!r} "
+                    f"conflict on shared variable(s) {', '.join(conflict)} "
+                    "and the footprint analysis cannot prove the accessed "
+                    "index slices disjoint"
+                ),
+                function=function.name,
+                subject=f"{a.task_id}<->{b.task_id}",
+                severity="warning",
+            )
+        )
+        return
     kind = "write-write" if write_write else "write-read"
     report.add(
         Finding(
@@ -155,6 +180,14 @@ def incremental_race_check(
     shared_names = frozenset(
         d.name for d in function.all_decls() if d.storage in SHARED_STORAGE
     )
+    store = default_footprint_store()
+    fp_cache: dict[str, TaskFootprint] = {}
+
+    def footprint_of(task: Task) -> TaskFootprint:
+        if task.task_id not in fp_cache:
+            fp_cache[task.task_id] = store.footprint(function, task)
+        return fp_cache[task.task_id]
+
     tasks = [t for t in htg.leaf_tasks() if t.task_id in mapping]
     task_ids = frozenset(t.task_id for t in tasks)
     report.bump("tasks", len(tasks))
@@ -197,7 +230,10 @@ def incremental_race_check(
                 if b.task_id in changed and ib < ia:
                     continue  # the (b, a) iteration covers this pair
                 first, second = (b, a) if ib < ia else (a, b)
-                _scan_pair(first, second, ordered, shared_names, mapping, function, report)
+                _scan_pair(
+                    first, second, ordered, shared_names, mapping, function,
+                    report, footprint_of,
+                )
         total_pairs = len(tasks) * (len(tasks) - 1) // 2
         report.bump("pairs_reused", total_pairs - report.checked.get("pairs_checked", 0))
         for finding in prev_state.findings:
@@ -207,7 +243,10 @@ def incremental_race_check(
     else:
         for i, a in enumerate(tasks):
             for b in tasks[i + 1:]:
-                _scan_pair(a, b, ordered, shared_names, mapping, function, report)
+                _scan_pair(
+                    a, b, ordered, shared_names, mapping, function,
+                    report, footprint_of,
+                )
 
     state = RaceCheckState(
         happens_before=happens_before,

@@ -1,0 +1,149 @@
+"""Schedule-independent static may-happen-in-parallel pruning.
+
+The system-level fixed point re-derives contender sets from the task
+windows on *every* iteration, treating any pair of time-overlapping tasks
+on distinct cores as interfering.  Two classes of pairs can be excluded
+once, statically, before the iteration starts:
+
+* **Ordered pairs.**  A transitive HTG dependence forces ``finish(u) <=
+  start(v)`` in every timeline the builder can produce (edge delays are
+  non-negative), so the half-open windows can never overlap.  Excluding
+  these pairs cannot change any contender count -- it is a pure speedup.
+* **Address-disjoint pairs.**  Tasks whose shared-array footprints
+  (:mod:`repro.analysis.footprints`) touch no common element generate no
+  interference on an address-sensitive interconnect.  Excluding them can
+  only *lower* contender counts, so the pruned bound is never looser than
+  the unpruned one -- it models banked/address-aware arbitration, which is
+  why pruning is opt-in (``static_pruning``) and the unpruned pass remains
+  the differential oracle.
+
+The relation is *schedule-independent*: it uses only the dependence
+closure and the footprints, never the candidate timeline, so one relation
+serves every fixed-point iteration (and every warm restart) of a design
+point.  Same-core pairs are also excluded from the skeleton -- the MHP
+passes skip them anyway, so the pruned pair list starts strictly smaller.
+
+Soundness of the ordering argument requires that every dependence the
+closure uses is actually enforced by the timeline builder, which drops
+edges touching unmapped tasks; the relation therefore falls back to the
+closure of the mapped-task-induced subgraph whenever any edge endpoint is
+unmapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.footprints import (
+    FootprintStore,
+    TaskFootprint,
+    default_footprint_store,
+    footprints_address_disjoint,
+)
+from repro.htg.graph import HierarchicalTaskGraph
+from repro.ir.program import Function
+from repro.utils.graphs import transitive_closure
+
+
+@dataclass(frozen=True)
+class StaticMhpRelation:
+    """Pruned contender skeleton: per task, the sharers that may contend.
+
+    ``allowed[tid]`` lists the cross-core, unordered, non-address-disjoint
+    sharers of ``tid`` -- the only tasks any MHP pass needs to test against
+    ``tid``'s window.  Every leaf task has an entry (possibly empty).
+    """
+
+    allowed: dict[str, tuple[str, ...]]
+    candidate_pairs: int
+    pruned_same_core: int
+    pruned_ordered: int
+    pruned_disjoint: int
+    kept_pairs: int
+    footprints: dict[str, TaskFootprint] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "candidate_pairs": self.candidate_pairs,
+            "pruned_same_core": self.pruned_same_core,
+            "pruned_ordered": self.pruned_ordered,
+            "pruned_disjoint": self.pruned_disjoint,
+            "kept_pairs": self.kept_pairs,
+        }
+
+
+def _ordered_pairs(
+    htg: HierarchicalTaskGraph, mapping: dict[str, int]
+) -> "set[tuple[str, str]] | frozenset[tuple[str, str]]":
+    """Dependence closure restricted to orderings the timeline enforces."""
+    if all(e.src in mapping and e.dst in mapping for e in htg.edges):
+        return htg.dependent_pairs()
+    mapped_edges = [
+        (e.src, e.dst) for e in htg.edges if e.src in mapping and e.dst in mapping
+    ]
+    return {
+        (str(u), str(v))
+        for (u, v) in transitive_closure(set(mapping), mapped_edges)
+    }
+
+
+def compute_static_mhp(
+    htg: HierarchicalTaskGraph,
+    function: Function,
+    mapping: dict[str, int],
+    sharers: "list[str] | None" = None,
+    store: FootprintStore | None = None,
+    use_footprints: bool = True,
+) -> StaticMhpRelation:
+    """Compute the pruned contender skeleton for one design point.
+
+    ``sharers`` defaults to every mapped leaf task with a non-zero declared
+    shared-access count; the system-level analysis passes its code-level
+    derivation instead so the two agree exactly.  ``use_footprints=False``
+    restricts pruning to the (count-preserving) ordered pairs.
+    """
+    store = store if store is not None else default_footprint_store()
+    leaf_ids = [t.task_id for t in htg.leaf_tasks() if t.task_id in mapping]
+    if sharers is None:
+        sharers = [
+            t.task_id
+            for t in htg.leaf_tasks()
+            if t.task_id in mapping and t.total_shared_accesses > 0
+        ]
+    ordered = _ordered_pairs(htg, mapping)
+    footprints: dict[str, TaskFootprint] = {}
+    if use_footprints:
+        for tid in leaf_ids:
+            footprints[tid] = store.footprint(function, htg.task(tid))
+
+    allowed: dict[str, tuple[str, ...]] = {}
+    candidate = same_core = pruned_ordered = pruned_disjoint = kept = 0
+    for tid in leaf_ids:
+        keep: list[str] = []
+        for other in sorted(sharers):
+            if other == tid:
+                continue
+            candidate += 1
+            if mapping[other] == mapping[tid]:
+                same_core += 1
+                continue
+            if (tid, other) in ordered or (other, tid) in ordered:
+                pruned_ordered += 1
+                continue
+            if use_footprints and footprints_address_disjoint(
+                footprints[tid], footprints[other]
+            ):
+                pruned_disjoint += 1
+                continue
+            keep.append(other)
+        kept += len(keep)
+        allowed[tid] = tuple(keep)
+    return StaticMhpRelation(
+        allowed=allowed,
+        candidate_pairs=candidate,
+        pruned_same_core=same_core,
+        pruned_ordered=pruned_ordered,
+        pruned_disjoint=pruned_disjoint,
+        kept_pairs=kept,
+        footprints=footprints,
+    )

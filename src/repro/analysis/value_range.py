@@ -86,6 +86,20 @@ def _mul(a: ValueRange, b: ValueRange) -> ValueRange:
     return ValueRange(min(corners), max(corners))
 
 
+def _div(a: ValueRange, b: ValueRange) -> ValueRange:
+    """Interval quotient hull; the caller guarantees ``0`` is outside ``b``.
+
+    ``inf/inf`` corners are indeterminate and dropped: the divisor keeps a
+    constant sign, so the matching ``x/inf -> 0`` and ``inf/y -> inf``
+    corners already close the hull on both sides of the dropped one.
+    """
+    corners = [x / y for x in (a.lo, a.hi) for y in (b.lo, b.hi)]
+    determinate = [q for q in corners if not math.isnan(q)]
+    if not determinate:
+        return TOP
+    return ValueRange(min(determinate), max(determinate))
+
+
 def _bool_range(value: "bool | None") -> ValueRange:
     if value is True:
         return ValueRange(1.0, 1.0)
@@ -117,8 +131,8 @@ def eval_range(expr: Expr, env: Env) -> ValueRange:
             return _mul(a, b)
         if op == "/":
             if b.lo > 0 or b.hi < 0:
-                inv = ValueRange(min(1.0 / b.lo, 1.0 / b.hi), max(1.0 / b.lo, 1.0 / b.hi))
-                return _mul(a, inv)
+                return _div(a, b)
+            # divisor range contains zero: any quotient is possible
             return TOP
         if op == "%":
             if a.lo >= 0 and b.lo > 0 and b.hi < INF:

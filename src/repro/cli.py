@@ -217,6 +217,7 @@ def _lint_one(target: str, build_diagram) -> dict:
     """Run the full analysis layer on one diagram; returns a JSON-able record."""
     from repro.adl.platforms import generic_predictable_multicore
     from repro.analysis.report import AnalysisReport, Finding
+    from repro.analysis.static_mhp import compute_static_mhp
     from repro.analysis.verifier import verify_function
     from repro.analysis.wcet_facts import derive_flow_facts
     from repro.core.config import ToolchainConfig
@@ -224,6 +225,7 @@ def _lint_one(target: str, build_diagram) -> dict:
     from repro.core.pipeline import run_pipeline
 
     reports: list[AnalysisReport] = []
+    interference: dict | None = None
     try:
         diagram = build_diagram()
         result = run_pipeline(
@@ -239,10 +241,23 @@ def _lint_one(target: str, build_diagram) -> dict:
         _facts, facts_report = derive_flow_facts(entry)
         reports.append(facts_report)
         reports.append(result.schedule.race_findings(result.htg, entry))
+        relation = compute_static_mhp(result.htg, entry, result.schedule.mapping)
+        interference_report = AnalysisReport("static_interference")
+        for key, value in relation.as_dict().items():
+            interference_report.bump(key, value)
+        interference_report.bump("tasks_footprinted", len(relation.footprints))
+        reports.append(interference_report)
+        interference = {
+            "pairs": relation.as_dict(),
+            "footprints": {
+                tid: fp.as_dict() for tid, fp in sorted(relation.footprints.items())
+            },
+        }
     return {
         "target": target,
         "ok": all(r.ok for r in reports),
         "reports": [r.as_dict() for r in reports],
+        "interference": interference,
     }
 
 

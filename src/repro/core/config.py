@@ -64,6 +64,17 @@ class ToolchainConfig:
     #: ``CertificationError``.  Off by default (it re-solves the IPET LP);
     #: CI turns it on.
     certify: bool = False
+    #: Prune the system-level MHP contender derivation with the static
+    #: interference relation (:mod:`repro.analysis.static_mhp`):
+    #: dependence-ordered and shared-footprint-disjoint task pairs are
+    #: excluded once, before the fixed point iterates.  Models an
+    #: address-aware interconnect, so bounds can only tighten; off by
+    #: default to keep the unpruned pass as the differential oracle.
+    static_pruning: bool = False
+    #: Pair-count threshold above which the ``auto`` MHP backend switches
+    #: to the vectorised pass.  ``None`` = the built-in default (also
+    #: overridable per process via ``REPRO_MHP_VECTORISE_MIN_PAIRS``).
+    mhp_vectorise_min_pairs: int | None = None
 
     def __post_init__(self) -> None:
         # Registries are imported lazily: config is a leaf module and the
@@ -103,6 +114,18 @@ class ToolchainConfig:
         if not isinstance(self.certify, bool):
             raise ValueError(
                 f"certify must be a bool, got {self.certify!r}"
+            )
+        if not isinstance(self.static_pruning, bool):
+            raise ValueError(
+                f"static_pruning must be a bool, got {self.static_pruning!r}"
+            )
+        if self.mhp_vectorise_min_pairs is not None and (
+            not isinstance(self.mhp_vectorise_min_pairs, int)
+            or self.mhp_vectorise_min_pairs < 0
+        ):
+            raise ValueError(
+                "mhp_vectorise_min_pairs must be a non-negative int "
+                f"(or None = default), got {self.mhp_vectorise_min_pairs!r}"
             )
         if self.scratchpad_capacity_bytes is not None and self.scratchpad_capacity_bytes < 1:
             raise ValueError(

@@ -168,6 +168,8 @@ def evaluate_mapping(
     cache: WcetAnalysisCache | None = None,
     certify: bool = False,
     warm_start=None,
+    static_pruning: bool | None = None,
+    vectorise_min_pairs: int | None = None,
 ) -> Schedule:
     """Run the system-level WCET analysis on a mapping and wrap it.
 
@@ -177,12 +179,15 @@ def evaluate_mapping(
     (a previous :class:`SystemWcetResult`, or the ambient
     :func:`repro.wcet.system_level.warm_start_hint`) seeds the interference
     fixed point from the previous converged state; the warm result is
-    certificate-checked before reuse.
+    certificate-checked before reuse.  ``static_pruning`` and
+    ``vectorise_min_pairs`` are forwarded too (``None`` = the ambient
+    :func:`repro.wcet.system_level.mhp_options`, then the defaults).
     """
     order = order or default_core_order(htg, mapping)
     result = system_level_wcet(
         htg, function, platform, mapping, order, cache=cache, certify=certify,
-        warm_start=warm_start,
+        warm_start=warm_start, static_pruning=static_pruning,
+        vectorise_min_pairs=vectorise_min_pairs,
     )
     return Schedule(
         htg_name=htg.name,

@@ -405,6 +405,15 @@ class WcetAnalysisCache(_ShardBackedTier):
         """Memoized content fingerprint of a whole function (public API)."""
         return self._function_fingerprint(function)
 
+    def function_context_fingerprint(self, function: Function) -> str:
+        """Memoized decl-table fingerprint of a function (public API).
+
+        The key component region-scoped analyses (code-level WCET entries,
+        task footprints) combine with a region fingerprint so single-region
+        edits keep every other region's memo addressable.
+        """
+        return self._function_context_fingerprint(function)
+
     def region_fingerprint(self, region: Block) -> str:
         """Memoized content fingerprint of one statement region (public API)."""
         return self._region_fingerprint(region)
@@ -921,6 +930,7 @@ class SystemResultCache(_ShardBackedTier):
         max_iterations: int = 25,
         models: dict[int, HardwareCostModel] | None = None,
         comm_delay=None,
+        static_pruning: bool = False,
     ) -> str:
         """The stable content key of one system-level analysis.
 
@@ -978,6 +988,12 @@ class SystemResultCache(_ShardBackedTier):
             "num_cores": num_cores,
             "max_iterations": max_iterations,
         }
+        if static_pruning:
+            # added only when pruning is on: unpruned keys stay byte-identical
+            # to every earlier schema (old disk entries remain addressable and
+            # the opt-out path is bit-identical), while pruned results live
+            # under keys unpruned code never derives
+            payload["static_pruning"] = True
         return _digest(json.dumps(payload, separators=(",", ":"), sort_keys=True))
 
     # ------------------------------------------------------------------ #
@@ -1009,6 +1025,16 @@ class SystemResultCache(_ShardBackedTier):
             # kept separately: the mapping may cover tasks beyond the
             # analysed timeline, and round-trips must be exact
             "cores": dict(result.task_cores),
+            **(
+                {
+                    "allowed": {
+                        tid: list(others)
+                        for tid, others in result.mhp_allowed.items()
+                    }
+                }
+                if getattr(result, "mhp_allowed", None) is not None
+                else {}
+            ),
         }
 
     @staticmethod
@@ -1034,6 +1060,14 @@ class SystemResultCache(_ShardBackedTier):
             converged=bool(record["converged"]),
             task_base_wcet={tid: float(row[4]) for tid, row in tasks.items()},
             task_shared_accesses={tid: int(row[5]) for tid, row in tasks.items()},
+            mhp_allowed=(
+                {
+                    tid: tuple(str(o) for o in others)
+                    for tid, others in record["allowed"].items()
+                }
+                if "allowed" in record
+                else None
+            ),
         )
 
     @staticmethod
@@ -1050,6 +1084,15 @@ class SystemResultCache(_ShardBackedTier):
                 float(row[4]), int(row[5])
             for core in cores.values():
                 int(core)
+            allowed = record.get("allowed")
+            if allowed is not None:
+                if not isinstance(allowed, dict):
+                    return False
+                for others in allowed.values():
+                    if not isinstance(others, list) or not all(
+                        isinstance(o, str) for o in others
+                    ):
+                        return False
             float(record["makespan"])
             float(record["interference"])
             float(record["communication"])

@@ -37,6 +37,7 @@ bit-for-bit identical to the double loop (the test suite asserts this).
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator
@@ -58,7 +59,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Below this many (task, sharer) pairs the double loop beats the cost of
 #: building numpy arrays; both backends give identical results either way.
+#: Overridable per call (``vectorise_min_pairs``), ambiently
+#: (:func:`mhp_options`) or process-wide (``REPRO_MHP_VECTORISE_MIN_PAIRS``).
 _VECTORISE_MIN_PAIRS = 2048
+
+
+def _resolve_vectorise_min_pairs(value: "int | None") -> int:
+    if value is None:
+        value = _MHP_OPTIONS["vectorise_min_pairs"]
+    if value is None:
+        raw = os.environ.get("REPRO_MHP_VECTORISE_MIN_PAIRS")
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError as exc:
+                raise SystemWcetError(
+                    f"REPRO_MHP_VECTORISE_MIN_PAIRS={raw!r} is not an integer"
+                ) from exc
+    if value is None:
+        return _VECTORISE_MIN_PAIRS
+    if value < 0:
+        raise SystemWcetError(f"vectorise_min_pairs must be >= 0, got {value}")
+    return value
+
+
+def _resolve_static_pruning(value: "bool | None") -> bool:
+    if value is None:
+        value = _MHP_OPTIONS["static_pruning"]
+    return bool(value) if value is not None else False
 
 
 @dataclass
@@ -81,6 +109,12 @@ class SystemWcetResult:
     #: analysis.  Defaulted for results built by hand in tests.
     task_base_wcet: dict[str, float] = field(default_factory=dict)
     task_shared_accesses: dict[str, int] = field(default_factory=dict)
+    #: Static-MHP contender skeleton used by the fixed point (``None`` when
+    #: ``static_pruning`` was off): per task, the sharers that may contend.
+    #: Carried so the certificate checkers can (a) restrict their fresh MHP
+    #: derivation to the claimed relation and (b) independently re-prove
+    #: every excluded pair ordered or footprint-disjoint.
+    mhp_allowed: dict[str, tuple[str, ...]] | None = None
     #: Diagnostics of the warm-start path (``None`` for cold runs and
     #: results replayed from the result tier; never serialized).
     warm_info: dict | None = None
@@ -293,15 +327,106 @@ def _validate_mhp_backend(mhp_backend: str) -> None:
         raise SystemWcetError("mhp_backend='numpy' requested but numpy is unavailable")
 
 
-def _pick_mhp_pass(mhp_backend: str, num_tasks: int, num_sharers: int):
+def _pick_mhp_pass(
+    mhp_backend: str, num_tasks: int, num_sharers: int, min_pairs: "int | None" = None
+):
     _validate_mhp_backend(mhp_backend)
+    if min_pairs is None:
+        min_pairs = _VECTORISE_MIN_PAIRS
     if mhp_backend == "scalar":
         return mhp_contenders_scalar
     if mhp_backend == "numpy":
         return mhp_contenders_vectorised
-    if _np is not None and num_tasks * num_sharers >= _VECTORISE_MIN_PAIRS:
+    if _np is not None and num_tasks * num_sharers >= min_pairs:
         return mhp_contenders_vectorised
     return mhp_contenders_scalar
+
+
+def mhp_contenders_pruned_scalar(
+    leaf_ids: list[str],
+    allowed: dict[str, tuple[str, ...]],
+    mapping: dict[str, int],
+    intervals: dict[str, Interval],
+) -> dict[str, int]:
+    """Double loop over the statically pruned contender skeleton.
+
+    ``allowed[tid]`` already excludes the task itself, same-core sharers,
+    dependence-ordered pairs and (optionally) footprint-disjoint pairs, so
+    only window overlap remains to be tested -- with the same strict float
+    comparisons as the unpruned passes.
+    """
+    contenders: dict[str, int] = {}
+    for tid in leaf_ids:
+        window = intervals[tid]
+        other_cores = set()
+        for other in allowed.get(tid, ()):
+            if window.overlaps(intervals[other]):
+                other_cores.add(mapping[other])
+        contenders[tid] = len(other_cores)
+    return contenders
+
+
+def _make_pruned_mhp_pass(
+    leaf_ids: list[str],
+    allowed: dict[str, tuple[str, ...]],
+    mapping: dict[str, int],
+    mhp_backend: str,
+    min_pairs: int,
+):
+    """Build an MHP pass over the pruned pair skeleton.
+
+    Returns a callable with the ``mhp_contenders_*`` signature (the
+    ``sharers`` argument is ignored -- the skeleton replaces it).  The
+    vectorised variant flattens the skeleton into index arrays once and per
+    iteration answers every pair's overlap test with one vector comparison,
+    then counts distinct contending cores per task via a boolean
+    (task, core) incidence matrix -- identical strict comparisons, so it is
+    bit-for-bit equal to the pruned double loop.
+    """
+    total_pairs = sum(len(allowed.get(tid, ())) for tid in leaf_ids)
+    use_numpy = mhp_backend == "numpy" or (
+        mhp_backend == "auto" and _np is not None and total_pairs >= min_pairs
+    )
+    if not use_numpy or _np is None or total_pairs == 0:
+
+        def scalar_pass(ids, sharers, mapping_, intervals):
+            del sharers
+            return mhp_contenders_pruned_scalar(ids, allowed, mapping_, intervals)
+
+        return scalar_pass
+
+    index = {tid: i for i, tid in enumerate(leaf_ids)}
+    core_slots = max(mapping[tid] for tid in leaf_ids) + 1
+    pair_task: list[int] = []
+    pair_other: list[int] = []
+    pair_slot: list[int] = []
+    for tid in leaf_ids:
+        i = index[tid]
+        for other in allowed.get(tid, ()):
+            pair_task.append(i)
+            pair_other.append(index[other])
+            pair_slot.append(i * core_slots + mapping[other])
+    task_idx = _np.asarray(pair_task, dtype=_np.int64)
+    other_idx = _np.asarray(pair_other, dtype=_np.int64)
+    slot_idx = _np.asarray(pair_slot, dtype=_np.int64)
+
+    def vector_pass(ids, sharers, mapping_, intervals):
+        del sharers, mapping_
+        starts = _np.fromiter(
+            (intervals[tid].start for tid in ids), dtype=_np.float64, count=len(ids)
+        )
+        ends = _np.fromiter(
+            (intervals[tid].end for tid in ids), dtype=_np.float64, count=len(ids)
+        )
+        overlap = (starts[task_idx] < ends[other_idx]) & (
+            starts[other_idx] < ends[task_idx]
+        )
+        hit = _np.zeros(len(ids) * core_slots, dtype=bool)
+        hit[slot_idx[overlap]] = True
+        counts = hit.reshape(len(ids), core_slots).sum(axis=1)
+        return {tid: int(counts[i]) for i, tid in enumerate(ids)}
+
+    return vector_pass
 
 
 def _certify_replayed_result(
@@ -309,8 +434,13 @@ def _certify_replayed_result(
     htg: HierarchicalTaskGraph,
     platform: Platform,
     order: dict[int, list[str]],
+    function: "Function | None" = None,
 ) -> None:
-    """Reject a cache-served result the fixed-point checker refutes.
+    """Reject a cache-served result the certificate checkers refute.
+
+    A result carrying a static-MHP skeleton is additionally checked by the
+    contention-certificate checker, which independently re-proves every
+    excluded pair ordered or footprint-disjoint (requires ``function``).
 
     Imported lazily: the certify package depends on this module's result
     type, and the common (non-certifying) path must not pay the import.
@@ -329,6 +459,25 @@ def _certify_replayed_result(
             + "; ".join(str(f) for f in report.findings if f.severity == "error"),
             report=report,
         )
+    if result.mhp_allowed is not None and function is not None:
+        from repro.analysis.certify import (
+            build_contention_certificate,
+            check_contention_certificate,
+        )
+
+        contention = build_contention_certificate(result, htg, function)
+        contention_report = check_contention_certificate(contention, htg, function)
+        if contention_report.count("error"):
+            raise CertificationError(
+                "memoized system-level result failed contention certification "
+                "on replay: "
+                + "; ".join(
+                    str(f)
+                    for f in contention_report.findings
+                    if f.severity == "error"
+                ),
+                report=contention_report,
+            )
 
 
 #: Ambient warm-start hint (see :func:`warm_start_hint`).  A plain module
@@ -337,6 +486,38 @@ def _certify_replayed_result(
 #: deep inside scheduler implementations without threading a parameter
 #: through every ``build()`` signature.
 _WARM_HINT: "SystemWcetResult | None" = None
+
+#: Ambient MHP options (same module-global pattern and rationale as
+#: ``_WARM_HINT``): the pipeline's schedule stage sets them from
+#: ``ToolchainConfig`` so the ``system_level_wcet`` calls made deep inside
+#: scheduler implementations pick them up without a signature change on
+#: every scheduler plugin.
+_MHP_OPTIONS: dict = {"static_pruning": None, "vectorise_min_pairs": None}
+
+
+@contextmanager
+def mhp_options(
+    static_pruning: "bool | None" = None,
+    vectorise_min_pairs: "int | None" = None,
+) -> Iterator[None]:
+    """Ambiently set MHP defaults for nested :func:`system_level_wcet` calls.
+
+    ``None`` leaves the enclosing value in place.  Explicit keyword
+    arguments to :func:`system_level_wcet` always win over the ambient
+    values, which in turn win over the module defaults (``static_pruning``
+    off; ``vectorise_min_pairs`` from ``REPRO_MHP_VECTORISE_MIN_PAIRS`` or
+    the built-in threshold).
+    """
+    previous = dict(_MHP_OPTIONS)
+    if static_pruning is not None:
+        _MHP_OPTIONS["static_pruning"] = static_pruning
+    if vectorise_min_pairs is not None:
+        _MHP_OPTIONS["vectorise_min_pairs"] = vectorise_min_pairs
+    try:
+        yield
+    finally:
+        _MHP_OPTIONS.clear()
+        _MHP_OPTIONS.update(previous)
 
 
 @contextmanager
@@ -442,6 +623,8 @@ def system_level_wcet(
     result_cache: "SystemResultCache | None | bool" = None,
     certify: bool = False,
     warm_start: "SystemWcetResult | None" = None,
+    static_pruning: "bool | None" = None,
+    vectorise_min_pairs: "int | None" = None,
 ) -> SystemWcetResult:
     """Contention-aware multi-core WCET of a mapped and ordered HTG.
 
@@ -449,6 +632,19 @@ def system_level_wcet(
     (vectorised when numpy is available and the graph is large enough),
     ``"numpy"`` or ``"scalar"``.  The backends are bit-for-bit identical;
     the knob exists for benchmarking and differential testing.
+    ``vectorise_min_pairs`` overrides the ``"auto"`` switch-over threshold
+    (default: ``REPRO_MHP_VECTORISE_MIN_PAIRS`` or the built-in 2048).
+
+    ``static_pruning`` enables the static interference analysis
+    (:mod:`repro.analysis.static_mhp`): dependence-ordered and
+    footprint-disjoint pairs are excluded from the contender skeleton once,
+    before the iteration, so every MHP pass runs over fewer pairs and the
+    resulting bound is never looser than the unpruned one (ordered
+    exclusions cannot change any count; footprint exclusions can only
+    lower counts).  Off (the default) is the bit-identical differential
+    oracle -- it leaves this function's behaviour exactly as before.
+    Pruned results carry the skeleton in ``mhp_allowed`` and are memoized
+    under result keys distinct from unpruned ones.
 
     ``result_cache`` controls the system-level result tier
     (:class:`~repro.wcet.cache.SystemResultCache`): the default ``None``
@@ -487,6 +683,8 @@ def system_level_wcet(
     # validate the backend up front: a warm result-cache hit returns early,
     # and error behaviour must not depend on the cache state
     _validate_mhp_backend(mhp_backend)
+    use_pruning = _resolve_static_pruning(static_pruning)
+    min_pairs = _resolve_vectorise_min_pairs(vectorise_min_pairs)
 
     storage_override = storage_override or {}
     leaf_ids = [t.task_id for t in htg.leaf_tasks()]
@@ -525,11 +723,12 @@ def system_level_wcet(
             max_iterations=max_iterations,
             models=models,
             comm_delay=comm_delay,
+            static_pruning=use_pruning,
         )
         memoized = result_tier.get(result_key)
         if memoized is not None:
             if certify:
-                _certify_replayed_result(memoized, htg, platform, order)
+                _certify_replayed_result(memoized, htg, platform, order, function)
             return memoized
     base_wcet: dict[str, float] = {}
     shared_accesses: dict[str, int] = {}
@@ -542,7 +741,18 @@ def system_level_wcet(
 
     # only tasks that actually touch shared resources can contend
     sharers = [tid for tid in leaf_ids if shared_accesses[tid] > 0]
-    mhp_pass = _pick_mhp_pass(mhp_backend, len(leaf_ids), len(sharers))
+    allowed: dict[str, tuple[str, ...]] | None = None
+    if use_pruning:
+        # imported lazily for the same reason as the certify machinery: the
+        # analysis package depends on this module's types
+        from repro.analysis.static_mhp import compute_static_mhp
+
+        allowed = compute_static_mhp(htg, function, mapping, sharers=sharers).allowed
+        mhp_pass = _make_pruned_mhp_pass(
+            leaf_ids, allowed, mapping, mhp_backend, min_pairs
+        )
+    else:
+        mhp_pass = _pick_mhp_pass(mhp_backend, len(leaf_ids), len(sharers), min_pairs)
     timeline = _TimelineBuilder(htg, mapping, order, comm_delay)
 
     def iterate(
@@ -598,6 +808,7 @@ def system_level_wcet(
             converged=converged,
             task_base_wcet=dict(base_wcet),
             task_shared_accesses=dict(shared_accesses),
+            mhp_allowed=allowed,
             warm_info=warm_info,
         )
 
@@ -647,11 +858,21 @@ def system_level_wcet(
         # they stay consistent with the worst-case effective WCETs below (for
         # a monotone interconnect penalty the max() cannot pick the stale
         # mid-iteration value; it only guards exotic non-monotone models).
-        contenders = {tid: comm_contenders for tid in leaf_ids}
+        # Under static pruning the per-task worst case is the number of
+        # distinct cores in the statically allowed contender skeleton -- a
+        # proved upper bound on any derivable count, so the fall-back stays
+        # sound and never looser than the unpruned all-cores one.
+        if allowed is None:
+            contenders = {tid: comm_contenders for tid in leaf_ids}
+        else:
+            contenders = {
+                tid: len({mapping[s] for s in allowed.get(tid, ())})
+                for tid in leaf_ids
+            }
         worst = {
             tid: base_wcet[tid]
             + shared_accesses[tid]
-            * models[mapping[tid]].shared_access_penalty(comm_contenders)
+            * models[mapping[tid]].shared_access_penalty(contenders[tid])
             for tid in leaf_ids
         }
         effective = {tid: max(effective[tid], worst[tid]) for tid in leaf_ids}

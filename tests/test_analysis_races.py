@@ -12,7 +12,9 @@ from repro.htg.extraction import ExtractionOptions
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task, TaskKind
 from repro.ir import FunctionBuilder
-from repro.ir.statements import Block
+from repro.ir.expressions import ArrayRef, BinOp, Const, Var
+from repro.ir.statements import Assign, Block, For
+from repro.ir.types import INT
 from repro.model import Diagram, library
 from repro.parallel.codegen import CodegenRaceError, parallel_program_to_c
 from repro.parallel.model import CoreProgram, ParallelProgram
@@ -89,7 +91,26 @@ class TestCheckRaces:
         assert report.ok
         assert report.checked["pairs_disjoint"] == 1
 
-    def test_chunk_siblings_are_exempt(self):
+    def test_chunk_siblings_with_provably_disjoint_slices_pass(self):
+        # two chunks of one split loop writing buf[0..3] and buf[4..7]
+        func, htg = two_tasks((), (), (), ())
+        for tid, (lo, hi) in (("t1", (0, 4)), ("t2", (4, 8))):
+            i = Var("i", INT)
+            body = Block([Assign(ArrayRef("buf", (i,)), Const(1.0))])
+            htg.tasks[tid].statements = Block(
+                [For(index=i, lower=Const(lo), upper=Const(hi), body=body)]
+            )
+            htg.tasks[tid].kind = TaskKind.LOOP_CHUNK
+            htg.tasks[tid].parent = "loop"
+            htg.tasks[tid].writes = {"buf"}
+        mapping, order = CROSS
+        report = check_races(htg, mapping, order, func)
+        assert report.ok
+        assert report.checked["chunk_pairs_proved_disjoint"] == 1
+
+    def test_unprovable_chunk_overlap_is_a_warning_not_a_pass(self):
+        # empty statement bodies: the declared writes force whole-array
+        # footprints, so disjointness is undischargeable -> warning
         func, htg = two_tasks((), (), (), ())
         htg.tasks["t1"].kind = TaskKind.LOOP_CHUNK
         htg.tasks["t1"].parent = "loop"
@@ -99,8 +120,49 @@ class TestCheckRaces:
         htg.tasks["t2"].writes = {"buf"}
         mapping, order = CROSS
         report = check_races(htg, mapping, order, func)
-        assert report.ok
-        assert report.checked["chunk_pairs_exempt"] == 1
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["race.chunk-overlap-unproven"]
+        assert report.findings[0].severity == "warning"
+        assert report.count("error") == 0
+
+    def test_overlapping_chunk_slices_keep_the_warning(self):
+        # stencil-style chunks: t1 writes buf[0..3], t2 reads buf[3] (first
+        # index of its slice minus one) -- a real overlap that must never
+        # silently pass
+        func, htg = two_tasks((), (), (), ())
+        i = Var("i", INT)
+        htg.tasks["t1"].statements = Block(
+            [For(index=i, lower=Const(0), upper=Const(4),
+                 body=Block([Assign(ArrayRef("buf", (i,)), Const(1.0))]))]
+        )
+        htg.tasks["t1"].writes = {"buf"}
+        htg.tasks["t2"].statements = Block(
+            [For(index=i, lower=Const(4), upper=Const(8),
+                 body=Block([Assign(Var("x"),
+                                    ArrayRef("buf", (BinOp("-", i, Const(1)),)))]))]
+        )
+        htg.tasks["t2"].reads = {"buf"}
+        for tid in ("t1", "t2"):
+            htg.tasks[tid].kind = TaskKind.LOOP_CHUNK
+            htg.tasks[tid].parent = "loop"
+        mapping, order = CROSS
+        report = check_races(htg, mapping, order, func)
+        assert [f.code for f in report.findings] == ["race.chunk-overlap-unproven"]
+
+    def test_symbolic_stride_chunks_stay_unproven(self):
+        # unknown scalar offset: index ranges are unbounded, overlap cannot
+        # be refuted
+        func, htg = two_tasks((), (), (), ())
+        for tid in ("t1", "t2"):
+            htg.tasks[tid].statements = Block(
+                [Assign(ArrayRef("buf", (Var("off"),)), Const(1.0))]
+            )
+            htg.tasks[tid].kind = TaskKind.LOOP_CHUNK
+            htg.tasks[tid].parent = "loop"
+            htg.tasks[tid].writes = {"buf"}
+        mapping, order = CROSS
+        report = check_races(htg, mapping, order, func)
+        assert [f.code for f in report.findings] == ["race.chunk-overlap-unproven"]
 
 
 # ---------------------------------------------------------------------- #
