@@ -29,6 +29,16 @@ after the run (``python -m repro cache evict`` is the standalone
 equivalent), so nightly drivers can keep shared caches from growing without
 bound.
 
+With ``--trace`` every experiment subprocess runs with observability on
+(``REPRO_TRACE`` pointing at a per-experiment ``obs_<module>/`` directory
+under ``--out-dir``): at process exit each worker dumps its Perfetto
+``trace-<pid>.json`` and ``metrics-<pid>.json``, and the driver merges the
+per-pid metric snapshots into the experiment's BENCH entry, so the record
+carries fixed-point iteration counts, MHP pruning ratios, cache tier
+hits/misses and certificate timings next to the wall-clock numbers::
+
+    python benchmarks/run_all.py --trace --only e13
+
 ``--sweep`` additionally runs a design-space sweep smoke test through the
 parallel sweep runner (``repro.core.sweep``): a 2 diagrams x 2 platforms x 2
 schedulers grid executed with ``--sweep-workers`` worker processes, verified
@@ -57,6 +67,8 @@ REPO_ROOT = BENCH_DIR.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs import TRACE_ENV_VAR  # noqa: E402
+from repro.obs.metrics import merge_snapshots  # noqa: E402
 from repro.wcet.cache import CACHE_DIR_ENV_VAR, read_cache_dir_stats  # noqa: E402
 
 
@@ -120,12 +132,35 @@ def discover_benchmarks() -> list[Path]:
     return sorted(BENCH_DIR.glob("bench_e*.py"), key=experiment_number)
 
 
-def run_benchmark(path: Path, pytest_args: list[str], cache_dir: Path | None = None) -> dict:
+def collect_trace_dir(trace_dir: Path) -> dict:
+    """Merge the per-pid telemetry a traced experiment subprocess dumped."""
+    metric_files = sorted(trace_dir.glob("metrics-*.json"))
+    snapshots = []
+    for metric_file in metric_files:
+        try:
+            snapshots.append(json.loads(metric_file.read_text()))
+        except (OSError, ValueError):
+            pass  # a torn write must not fail the whole record
+    return {
+        "dir": str(trace_dir),
+        "trace_files": len(list(trace_dir.glob("trace-*.json"))),
+        "metrics": merge_snapshots(snapshots),
+    }
+
+
+def run_benchmark(
+    path: Path,
+    pytest_args: list[str],
+    cache_dir: Path | None = None,
+    trace_dir: Path | None = None,
+) -> dict:
     """Run one experiment module under pytest and time it."""
     cmd = [sys.executable, "-m", "pytest", str(path), "-q", *pytest_args]
     env = dict(os.environ)
     if cache_dir is not None:
         env[CACHE_DIR_ENV_VAR] = str(cache_dir)
+    if trace_dir is not None:
+        env[TRACE_ENV_VAR] = str(trace_dir)
     started = time.perf_counter()
     proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True, env=env)
     seconds = time.perf_counter() - started
@@ -135,13 +170,16 @@ def run_benchmark(path: Path, pytest_args: list[str], cache_dir: Path | None = N
         if line.strip():
             summary = line.strip()
             break
-    return {
+    record = {
         "module": path.stem,
         "seconds": round(seconds, 3),
         "returncode": proc.returncode,
         "passed": proc.returncode == 0,
         "summary": summary,
     }
+    if trace_dir is not None:
+        record["telemetry"] = collect_trace_dir(trace_dir)
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -186,6 +224,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BYTES",
         help="after the run, bound the shared cache directory's serialized entry "
         "bytes (requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every experiment subprocess with observability on "
+        "(REPRO_TRACE) and merge the per-pid metric snapshots into the "
+        "BENCH record; traces land in <out-dir>/obs_<module>/",
     )
     parser.add_argument(
         "--sweep",
@@ -236,8 +281,18 @@ def main(argv: list[str] | None = None) -> int:
     before = sweep_start_stats
     for path in benchmarks:
         print(f"[run_all] {path.stem} ...", flush=True)
-        record = run_benchmark(path, args.pytest_args, cache_dir=cache_dir)
+        trace_dir = args.out_dir / f"obs_{path.stem}" if args.trace else None
+        record = run_benchmark(
+            path, args.pytest_args, cache_dir=cache_dir, trace_dir=trace_dir
+        )
         status = "ok" if record["passed"] else f"FAILED (rc={record['returncode']})"
+        if args.trace:
+            counters = record["telemetry"]["metrics"].get("counters", {})
+            status += (
+                f"  [trace: {record['telemetry']['trace_files']} file(s), "
+                f"{counters.get('fixed_point.runs', 0)} fixed points, "
+                f"{counters.get('ipet.solves', 0)} LP solves]"
+            )
         if cache_dir is not None:
             after = read_cache_dir_stats(cache_dir, count_entries=False)
             record["cache"] = {

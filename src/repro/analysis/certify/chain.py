@@ -16,8 +16,10 @@ job, or just report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.certify.contention_cert import (
     ContentionCertificate,
     build_contention_certificate,
@@ -89,6 +91,17 @@ class CertificateChain:
         }
 
 
+def _record_checker(name: str, started: float, report: AnalysisReport) -> None:
+    """Fold one checker's verdict and wall time into the metrics registry."""
+    registry = obs.metrics()
+    registry.histogram(f"certify.{name}.seconds").observe(
+        time.perf_counter() - started
+    )
+    if not report.count("error"):
+        registry.counter(f"certify.{name}.ok").inc()
+    registry.counter(f"certify.{name}.findings").inc(len(report.findings))
+
+
 def build_certificates(
     schedule, function, htg, platform, flow_facts=None
 ) -> CertificateChain:
@@ -102,28 +115,47 @@ def build_certificates(
     from repro.wcet.hardware_model import HardwareCostModel
     from repro.wcet.ipet import ipet_wcet
 
-    schedule_cert = build_schedule_certificate(schedule, htg, platform)
-    schedule_report = check_schedule_certificate(schedule_cert, htg, platform)
+    obs_on = obs.obs_enabled()
 
-    fp_cert = build_fixed_point_certificate(
-        schedule.result, schedule.order, platform, htg
-    )
-    fp_report = check_fixed_point_certificate(fp_cert, htg, platform)
+    started = time.perf_counter() if obs_on else 0.0
+    with obs.span("certify.schedule"):
+        schedule_cert = build_schedule_certificate(schedule, htg, platform)
+        schedule_report = check_schedule_certificate(schedule_cert, htg, platform)
+    if obs_on:
+        _record_checker("schedule", started, schedule_report)
+
+    started = time.perf_counter() if obs_on else 0.0
+    with obs.span("certify.fixed_point"):
+        fp_cert = build_fixed_point_certificate(
+            schedule.result, schedule.order, platform, htg
+        )
+        fp_report = check_fixed_point_certificate(fp_cert, htg, platform)
+    if obs_on:
+        _record_checker("fixed_point", started, fp_report)
 
     contention_cert = None
     reports = [schedule_report, fp_report]
     if getattr(schedule.result, "mhp_allowed", None) is not None:
-        contention_cert = build_contention_certificate(
-            schedule.result, htg, function
-        )
-        reports.append(
-            check_contention_certificate(contention_cert, htg, function)
-        )
+        started = time.perf_counter() if obs_on else 0.0
+        with obs.span("certify.contention"):
+            contention_cert = build_contention_certificate(
+                schedule.result, htg, function
+            )
+            contention_report = check_contention_certificate(
+                contention_cert, htg, function
+            )
+        if obs_on:
+            _record_checker("contention", started, contention_report)
+        reports.append(contention_report)
 
-    model = HardwareCostModel(platform, platform.cores[0].core_id)
-    ipet_result = ipet_wcet(function, model, flow_facts)
-    ipet_cert = build_ipet_certificate(ipet_result, function.name)
-    ipet_report = check_ipet_certificate(ipet_cert, function=function)
+    started = time.perf_counter() if obs_on else 0.0
+    with obs.span("certify.ipet", function=function.name):
+        model = HardwareCostModel(platform, platform.cores[0].core_id)
+        ipet_result = ipet_wcet(function, model, flow_facts)
+        ipet_cert = build_ipet_certificate(ipet_result, function.name)
+        ipet_report = check_ipet_certificate(ipet_cert, function=function)
+    if obs_on:
+        _record_checker("ipet", started, ipet_report)
     reports.append(ipet_report)
 
     return CertificateChain(

@@ -44,7 +44,20 @@ how many race pairs and code-level reports were reused::
     python -m repro diff examples/model_v1.py examples/model_v2.py
     python -m repro diff egpws examples/egpws_edited.py --json
 
-All three analysis commands accept the same targets -- built-in use-case
+``trace`` runs one target through the full pipeline with observability
+(:mod:`repro.obs`) switched on -- certification and static MHP pruning
+included, so the trace shows every layer -- and exports a
+Chrome/Perfetto-loadable ``trace.json`` plus, with ``--metrics-json``, the
+run's metric snapshot as JSON on stdout::
+
+    python -m repro trace egpws --out trace.json
+    python -m repro trace polka --metrics-json > metrics.json
+
+Traced runs are bit-identical to untraced ones; the exported trace is
+self-validated (well-formed phases, per-track monotonic timestamps) and a
+validation finding makes the exit status 1.
+
+The analysis commands accept the same targets -- built-in use-case
 names (``egpws``, ``weaa``, ``polka``) or paths to Python files exposing a
 ``build_model() -> Diagram`` function; ``lint`` and ``certify`` also take
 a ``--fail-on`` severity threshold.  Exit status: 0 when no finding
@@ -389,6 +402,60 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# trace (observability)
+# ---------------------------------------------------------------------- #
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.adl.platforms import generic_predictable_multicore
+    from repro.core.config import ToolchainConfig
+    from repro.core.exceptions import ToolchainError
+    from repro.core.pipeline import run_pipeline
+    from repro.core.reporting import fixed_point_report
+    from repro.obs.tracer import validate_trace_events
+
+    plan = _resolve_targets([args.target], "trace")
+    if plan is None:
+        return 2
+    ((target, build),) = plan
+    # Fresh buffers so the exported trace holds exactly this run; the
+    # config's trace knob switches observability on for the run itself.
+    obs.reset()
+    config = ToolchainConfig(certify=True, static_pruning=True, trace=True)
+    try:
+        result = run_pipeline(build(), generic_predictable_multicore(), config)
+    except ToolchainError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 1
+    tracer = obs.tracer()
+    events = tracer.events()
+    findings = validate_trace_events(events)
+    out = Path(args.out)
+    tracer.export_chrome(out)
+    telemetry = result.telemetry()
+    # With --metrics-json the JSON owns stdout; the summary moves to stderr.
+    info = sys.stderr if args.metrics_json else sys.stdout
+    print(f"trace: {target}: {len(events)} event(s) -> {out}", file=info)
+    print(f"WCET bound: {result.schedule.wcet_bound:.0f} cycles", file=info)
+    print(fixed_point_report(result.schedule), file=info)
+    for finding in findings:
+        print(f"trace validation: {finding}", file=sys.stderr)
+    if args.metrics_json:
+        print(
+            json.dumps(
+                {
+                    "target": target,
+                    "out": str(out),
+                    "events": len(events),
+                    "validation_findings": findings,
+                    "metrics": telemetry.get("metrics", {}),
+                },
+                indent=2,
+            )
+        )
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -480,6 +547,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report on stdout"
     )
     diff.set_defaults(func=_cmd_diff)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run one target with observability on and export a Perfetto trace",
+    )
+    trace.add_argument(
+        "target",
+        help="a built-in use-case name (egpws, weaa, polka) or a path to a "
+        "Python file defining build_model()",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome/Perfetto trace output path (default: trace.json)",
+    )
+    trace.add_argument(
+        "--metrics-json",
+        action="store_true",
+        help="print the run's metric snapshot as JSON on stdout "
+        "(the human summary moves to stderr)",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

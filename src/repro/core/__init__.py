@@ -25,7 +25,11 @@ from repro.core.pipeline import (
 from repro.core.sweep import SweepCase, SweepOutcome, SweepResult, sweep, sweep_grid
 from repro.core.toolchain import ArgoToolchain, ToolchainResult
 from repro.core.feedback import CrossLayerFeedback, FeedbackHistoryEntry
-from repro.core.reporting import bottleneck_report, toolchain_summary
+from repro.core.reporting import (
+    bottleneck_report,
+    fixed_point_report,
+    toolchain_summary,
+)
 
 __all__ = [
     "ToolchainConfig",
@@ -49,5 +53,6 @@ __all__ = [
     "CrossLayerFeedback",
     "FeedbackHistoryEntry",
     "bottleneck_report",
+    "fixed_point_report",
     "toolchain_summary",
 ]

@@ -75,6 +75,13 @@ class ToolchainConfig:
     #: to the vectorised pass.  ``None`` = the built-in default (also
     #: overridable per process via ``REPRO_MHP_VECTORISE_MIN_PAIRS``).
     mhp_vectorise_min_pairs: int | None = None
+    #: Enable observability (:mod:`repro.obs` spans + metrics) for runs of
+    #: this config; the ambient state is restored when the run finishes.
+    #: Purely diagnostic -- traced and untraced runs produce bit-identical
+    #: results, so the knob is excluded from content-addressed cache keys.
+    #: Also switchable process-wide via the ``REPRO_TRACE`` environment
+    #: variable (see :mod:`repro.obs`).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         # Registries are imported lazily: config is a leaf module and the
@@ -118,6 +125,10 @@ class ToolchainConfig:
         if not isinstance(self.static_pruning, bool):
             raise ValueError(
                 f"static_pruning must be a bool, got {self.static_pruning!r}"
+            )
+        if not isinstance(self.trace, bool):
+            raise ValueError(
+                f"trace must be a bool, got {self.trace!r}"
             )
         if self.mhp_vectorise_min_pairs is not None and (
             not isinstance(self.mhp_vectorise_min_pairs, int)

@@ -49,6 +49,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro import obs
 from repro.adl.architecture import Platform
 from repro.core.config import ToolchainConfig
 from repro.core.exceptions import ToolchainError
@@ -220,6 +221,9 @@ class PipelineResult:
     #: cache (``stage_hits`` / ``stage_misses``, always present and zero
     #: when stage caching is disabled or no stage opted in).
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Observability snapshot of the run (see :meth:`telemetry`); ``None``
+    #: when :mod:`repro.obs` was disabled while the run executed.
+    telemetry_data: dict[str, Any] | None = field(default=None, repr=False, compare=False)
     #: Memoized analysis dependency graph (see :meth:`artifact_summary`).
     _summary: Any = field(default=None, repr=False, compare=False)
 
@@ -274,6 +278,18 @@ class PipelineResult:
     @metadata_sequential.setter
     def metadata_sequential(self, value: float) -> None:
         self.sequential_bound = value
+
+    # ------------------------------------------------------------------ #
+    def telemetry(self) -> dict[str, Any]:
+        """What :mod:`repro.obs` recorded while this run executed.
+
+        ``{"enabled": False}`` when observability was off; otherwise
+        ``{"enabled": True, "metrics": <snapshot delta>}`` where the metrics
+        delta covers exactly this run (counters/histograms recorded between
+        run start and finish).  JSON-serializable: the sweep runner ships it
+        from workers through ``SweepOutcome.telemetry``.
+        """
+        return self.telemetry_data or {"enabled": False}
 
     # ------------------------------------------------------------------ #
     @property
@@ -442,8 +458,12 @@ def _wcet_stage(context: PipelineContext) -> dict[str, Any]:
 # content-addressed stage cache keys (see Stage.cache_key)
 # ---------------------------------------------------------------------- #
 def _config_digest(config: ToolchainConfig) -> str:
+    knobs = dataclasses.asdict(config)
+    # observability never changes any artifact, so tracing a run must not
+    # split it off from the untraced cache entries
+    knobs.pop("trace", None)
     return hashlib.sha1(
-        json.dumps(dataclasses.asdict(config), sort_keys=True, default=str).encode("utf-8")
+        json.dumps(knobs, sort_keys=True, default=str).encode("utf-8")
     ).hexdigest()
 
 
@@ -726,7 +746,18 @@ class Pipeline:
     # execution
     # ------------------------------------------------------------------ #
     def run(self, diagram: Diagram) -> PipelineResult:
-        """One pass through the stage graph on ``diagram``."""
+        """One pass through the stage graph on ``diagram``.
+
+        With ``config.trace`` set, observability (:mod:`repro.obs`) is
+        enabled for the duration of the run and restored afterwards.
+        """
+        previous = obs.set_enabled(obs.obs_enabled() or self.config.trace)
+        try:
+            return self._run(diagram)
+        finally:
+            obs.set_enabled(previous)
+
+    def _run(self, diagram: Diagram) -> PipelineResult:
         context = PipelineContext(
             diagram=diagram,
             platform=self.platform,
@@ -740,6 +771,9 @@ class Pipeline:
         )
         stats = self.wcet_cache.stats
         counters_before = (stats.hits, stats.disk_hits, stats.misses)
+        obs_on = obs.obs_enabled()
+        run_started = time.perf_counter()
+        metrics_before = obs.metrics_snapshot() if obs_on else None
         records: list[StageRecord] = []
         stage_hits = 0
         stage_misses = 0
@@ -749,18 +783,21 @@ class Pipeline:
             produced: dict[str, Any] | None = None
             cached_info: dict[str, Any] | None = None
             cache_key: str | None = None
-            if self.stage_cache is not None and stage.cache_key is not None:
-                cache_key = stage.cache_key(context)
-                if cache_key is not None:
-                    cached = self.stage_cache.lookup(stage.name, cache_key)
-                    if cached is not None:
-                        produced, cached_info = cached
-                        stage_hits += 1
-                    else:
-                        stage_misses += 1
-            from_cache = produced is not None
-            if produced is None:
-                produced = dict(stage.run(context) or {})
+            with obs.span(f"stage.{stage.name}") as stage_span:
+                if self.stage_cache is not None and stage.cache_key is not None:
+                    cache_key = stage.cache_key(context)
+                    if cache_key is not None:
+                        cached = self.stage_cache.lookup(stage.name, cache_key)
+                        if cached is not None:
+                            produced, cached_info = cached
+                            stage_hits += 1
+                        else:
+                            stage_misses += 1
+                from_cache = produced is not None
+                if produced is None:
+                    produced = dict(stage.run(context) or {})
+                elif obs_on:
+                    stage_span.set(stage_cache="hit")
             seconds = time.perf_counter() - started
             missing = [a for a in stage.produces if a not in produced]
             if missing:
@@ -794,7 +831,46 @@ class Pipeline:
         }
         cache_stats["stage_hits"] = stage_hits
         cache_stats["stage_misses"] = stage_misses
-        return self._assemble_result(diagram, context, records, cache_stats)
+        telemetry = self._capture_telemetry(
+            obs_on, run_started, metrics_before, diagram, cache_stats, len(records)
+        )
+        return self._assemble_result(
+            diagram, context, records, cache_stats, telemetry=telemetry
+        )
+
+    def _capture_telemetry(
+        self,
+        obs_on: bool,
+        run_started: float,
+        metrics_before: "dict[str, Any] | None",
+        diagram: Diagram,
+        cache_stats: dict[str, int],
+        num_stages: int,
+        span_name: str = "pipeline.run",
+    ) -> "dict[str, Any] | None":
+        """Fold this run's cache deltas into the registry and carve out the
+        per-run metrics snapshot (``None`` when observability is off)."""
+        if not obs_on:
+            return None
+        registry = obs.metrics()
+        for key in ("hits", "disk_hits", "misses", "stage_hits", "stage_misses"):
+            delta = cache_stats.get(key, 0)
+            if delta:
+                registry.counter(f"wcet_cache.{key}").inc(delta)
+        obs.trace_complete(
+            span_name,
+            run_started,
+            time.perf_counter() - run_started,
+            {
+                "diagram": diagram.name,
+                "platform": self.platform.name,
+                "stages": num_stages,
+            },
+        )
+        return {
+            "enabled": True,
+            "metrics": obs.snapshot_delta(metrics_before or {}, obs.metrics_snapshot()),
+        }
 
     def run_incremental(self, prev: PipelineResult, diagram: Diagram) -> PipelineResult:
         """Re-run the flow on an edited ``diagram``, reusing ``prev``.
@@ -824,6 +900,13 @@ class Pipeline:
         the stage graph is customised -- the engine only knows the input
         frontiers of the seven built-in stages.
         """
+        previous = obs.set_enabled(obs.obs_enabled() or self.config.trace)
+        try:
+            return self._run_incremental(prev, diagram)
+        finally:
+            obs.set_enabled(previous)
+
+    def _run_incremental(self, prev: PipelineResult, diagram: Diagram) -> PipelineResult:
         from repro.analysis.incremental import (
             TRACKED_STAGES,
             IncrementalReport,
@@ -835,6 +918,9 @@ class Pipeline:
         from repro.wcet.system_level import warm_start_hint
 
         report = IncrementalReport()
+        obs_on = obs.obs_enabled()
+        run_started = time.perf_counter()
+        metrics_before = obs.metrics_snapshot() if obs_on else None
         stage_names = tuple(stage.name for stage in self.stages)
         if stage_names != TRACKED_STAGES:
             report.fallback_reason = (
@@ -887,6 +973,17 @@ class Pipeline:
                 {"diagram": diagram, "platform": self.platform, "config": self.config}
             )
             artifacts["incremental_report"] = report
+            if obs_on:
+                obs.metrics().counter("incremental.stages_reused").inc(len(stage_names))
+            telemetry = self._capture_telemetry(
+                obs_on,
+                run_started,
+                metrics_before,
+                diagram,
+                {},
+                len(records),
+                span_name="pipeline.run_incremental",
+            )
             return PipelineResult(
                 diagram_name=diagram.name,
                 platform_name=self.platform.name,
@@ -908,6 +1005,7 @@ class Pipeline:
                     "stages_reused": len(stage_names),
                     "stages_recomputed": 0,
                 },
+                telemetry_data=telemetry,
                 _summary=prev_summary,
             )
 
@@ -932,7 +1030,8 @@ class Pipeline:
             stage = by_name[name]
             context.info = {}
             started = time.perf_counter()
-            produced = dict(stage.run(context) or {})
+            with obs.span(f"stage.{name}", incremental=status):
+                produced = dict(stage.run(context) or {})
             seconds = time.perf_counter() - started
             missing = [a for a in stage.produces if a not in produced]
             if missing:
@@ -1120,7 +1219,31 @@ class Pipeline:
         cache_stats["stage_misses"] = 0
         cache_stats["stages_reused"] = report.stages_reused
         cache_stats["stages_recomputed"] = report.stages_recomputed
-        result = self._assemble_result(diagram, context, records, cache_stats)
+        if obs_on:
+            registry = obs.metrics()
+            registry.counter("incremental.stages_reused").inc(report.stages_reused)
+            registry.counter("incremental.stages_recomputed").inc(
+                report.stages_recomputed
+            )
+            registry.counter("incremental.regions_reused").inc(report.regions_reused)
+            registry.counter("incremental.regions_recomputed").inc(
+                report.regions_recomputed
+            )
+            registry.counter("incremental.race_pairs_reused").inc(
+                report.race_pairs_reused
+            )
+        telemetry = self._capture_telemetry(
+            obs_on,
+            run_started,
+            metrics_before,
+            diagram,
+            cache_stats,
+            len(records),
+            span_name="pipeline.run_incremental",
+        )
+        result = self._assemble_result(
+            diagram, context, records, cache_stats, telemetry=telemetry
+        )
         report.diff = diff_summaries(
             prev_summary, result.artifact_summary(self.wcet_cache)
         )
@@ -1133,6 +1256,7 @@ class Pipeline:
         context: PipelineContext,
         records: list[StageRecord],
         cache_stats: dict[str, int],
+        telemetry: "dict[str, Any] | None" = None,
     ) -> PipelineResult:
         artifacts = context.artifacts
 
@@ -1157,6 +1281,7 @@ class Pipeline:
             stage_records=records,
             artifacts=dict(artifacts),
             cache_stats=cache_stats,
+            telemetry_data=telemetry,
         )
 
     # ------------------------------------------------------------------ #

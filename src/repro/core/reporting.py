@@ -39,6 +39,29 @@ def bottleneck_report(htg: HierarchicalTaskGraph, schedule: Schedule, top: int =
     return table.render()
 
 
+def fixed_point_report(schedule: Schedule) -> str:
+    """Convergence evidence of the system-level fixed point.
+
+    Renders the iteration count, the convergence verdict and the final
+    maximum per-task delta; when the schedule was analysed under
+    observability the per-iteration delta curve is included, which makes
+    contraction (or the lack of it) visible at a glance.
+    """
+    result = schedule.result
+    if result is None:
+        return "(schedule not analysed)"
+    lines = [
+        "system fixed point",
+        f"  iterations : {result.iterations}",
+        f"  converged  : {'yes' if result.converged else 'NO (iteration cap hit)'}",
+        f"  final delta: {result.final_delta:.6g} cycles",
+    ]
+    if result.iteration_deltas:
+        curve = ", ".join(f"{d:.6g}" for d in result.iteration_deltas)
+        lines.append(f"  delta curve: [{curve}]")
+    return "\n".join(lines)
+
+
 def toolchain_summary(result: ToolchainResult) -> str:
     """End-to-end summary of one flow run (the Fig. 1 pipeline outcome)."""
     schedule = result.schedule
@@ -61,6 +84,8 @@ def toolchain_summary(result: ToolchainResult) -> str:
     utilization = schedule.utilization()
     for core in sorted(utilization):
         lines.append(f"core {core} utilisation: {100 * utilization[core]:.1f}%")
+    lines.append("")
+    lines.append(fixed_point_report(schedule))
     lines.append("")
     lines.append(bottleneck_report(result.htg, schedule))
     return "\n".join(lines)

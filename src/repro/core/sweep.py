@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import obs
 from repro.adl.architecture import Platform
 from repro.core.config import ToolchainConfig
 from repro.core.pipeline import PipelineResult, StageArtifactCache, run_pipeline
@@ -81,6 +82,12 @@ class SweepOutcome:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     cache_stats: dict[str, int] = field(default_factory=dict)
     error: str | None = None
+    #: Per-case observability snapshot (``PipelineResult.telemetry()``);
+    #: ``None`` when :mod:`repro.obs` was disabled in the executing process.
+    #: Plain JSON data, so worker processes ship it back with the tabular
+    #: fields and the parent merges the per-worker metrics -- the same
+    #: discipline as the cache-stat deltas.
+    telemetry: dict[str, Any] | None = None
     #: The original exception object; only retained by in-process sweeps
     #: (worker processes report the ``error`` string only), so callers like
     #: the feedback loop can re-raise with type and traceback intact.
@@ -107,6 +114,7 @@ class SweepOutcome:
             "stage_seconds": dict(self.stage_seconds),
             "cache_stats": dict(self.cache_stats),
             "error": self.error,
+            **({"telemetry": self.telemetry} if self.telemetry is not None else {}),
         }
 
 
@@ -143,6 +151,18 @@ class SweepResult:
 
     def as_dicts(self) -> list[dict[str, Any]]:
         return [outcome.as_dict() for outcome in self.outcomes]
+
+    def merged_telemetry(self) -> dict[str, Any]:
+        """All per-case metric snapshots pooled into one (counters add,
+        histograms pool).  ``{"enabled": False}`` when no case recorded."""
+        snapshots = [
+            outcome.telemetry.get("metrics") or {}
+            for outcome in self.outcomes
+            if outcome.telemetry and outcome.telemetry.get("enabled")
+        ]
+        if not snapshots:
+            return {"enabled": False}
+        return {"enabled": True, "metrics": obs.merge_snapshots(snapshots)}
 
     def table(self, title: str = "design-space sweep") -> Table:
         table = Table(
@@ -222,9 +242,12 @@ def _execute_case(
         diagram, platform = case.materialize()
         outcome.diagram_name = diagram.name
         outcome.platform_name = platform.name
-        result = run_pipeline(
-            diagram, platform, case.config, wcet_cache=cache, stage_cache=stage_cache
-        )
+        with obs.span(
+            "sweep.case", index=index, diagram=outcome.diagram_name, label=case.label
+        ):
+            result = run_pipeline(
+                diagram, platform, case.config, wcet_cache=cache, stage_cache=stage_cache
+            )
         outcome.system_wcet = result.system_wcet
         outcome.sequential_wcet = result.sequential_wcet
         outcome.wcet_speedup = result.wcet_speedup
@@ -232,6 +255,8 @@ def _execute_case(
         # not become a mutation alias of them (nor vice versa)
         outcome.stage_seconds = dict(result.timings)
         outcome.cache_stats = dict(result.cache_stats)
+        if result.telemetry_data is not None:
+            outcome.telemetry = result.telemetry()
         outcome.result = result
     except Exception as exc:  # noqa: BLE001 - one bad case must not kill the sweep
         outcome.error = f"{type(exc).__name__}: {exc}"
@@ -368,6 +393,13 @@ def sweep(
         ]
         with ProcessPoolExecutor(max_workers=effective_workers) as pool:
             outcomes = list(pool.map(_worker_run_case, jobs))
+        if obs.obs_enabled():
+            # fold the workers' per-case snapshots into the parent registry
+            # (the in-process path above recorded into it directly)
+            registry = obs.metrics()
+            for outcome in outcomes:
+                if outcome.telemetry and outcome.telemetry.get("enabled"):
+                    registry.merge(outcome.telemetry.get("metrics") or {})
     return SweepResult(
         outcomes=outcomes,
         seconds=time.perf_counter() - started,

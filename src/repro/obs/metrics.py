@@ -1,0 +1,208 @@
+"""Typed metrics: counters, gauges and histograms with mergeable snapshots.
+
+The registry is deliberately tiny -- a name-keyed dictionary of three
+instrument types -- because every consumer (``PipelineResult.telemetry()``,
+``SweepOutcome.telemetry``, ``python -m repro trace --metrics-json``,
+``benchmarks/run_all.py --trace``) exchanges plain :func:`snapshot` dicts,
+never live instrument objects.  Snapshots are JSON-serializable, additive
+under :meth:`MetricsRegistry.merge` (counters add, histograms pool, gauges
+last-write-wins) and subtractable under :func:`snapshot_delta`, which is how
+per-run and per-worker telemetry is carved out of the process-wide registry.
+
+Thread safety: instrument *creation* is lock-protected; recording on an
+instrument is a plain attribute update (atomic enough under the GIL for the
+single-writer-per-process discipline used here -- sweeps parallelise across
+processes, not threads).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "snapshot_delta",
+]
+
+
+class Counter:
+    """A monotonically increasing integer-ish count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A pooled distribution summary: count / total / min / max.
+
+    Full sample retention is deliberately avoided (bounded memory under
+    metaheuristic loops recording thousands of observations); convergence
+    *curves* are carried on ``SystemWcetResult.iteration_deltas`` and as
+    trace counter events instead.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dict(self, data: dict[str, Any]) -> None:
+        count = int(data.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(data.get("total", 0.0))
+        lo = float(data.get("min", math.inf))
+        hi = float(data.get("max", -math.inf))
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
+
+class MetricsRegistry:
+    """Name-keyed counters/gauges/histograms with snapshot/merge/reset."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram())
+        return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable copy of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.as_dict() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another snapshot in: counters add, histograms pool."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, data in (snapshot.get("histograms") or {}).items():
+            self.histogram(name).merge_dict(data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Pool several snapshots (e.g. one per sweep worker) into one."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            registry.merge(snapshot)
+    return registry.snapshot()
+
+
+def snapshot_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """What happened *between* two snapshots of the same registry.
+
+    Counters and histogram count/total subtract; zero-delta instruments are
+    dropped; gauges and histogram min/max are reported as-of ``after`` (they
+    have no meaningful difference).
+    """
+    counters = {}
+    before_counters = before.get("counters") or {}
+    for name, value in (after.get("counters") or {}).items():
+        delta = value - before_counters.get(name, 0)
+        if delta:
+            counters[name] = delta
+    histograms = {}
+    before_histograms = before.get("histograms") or {}
+    for name, data in (after.get("histograms") or {}).items():
+        prev = before_histograms.get(name, {})
+        count = int(data.get("count", 0)) - int(prev.get("count", 0))
+        if count <= 0:
+            continue
+        entry = dict(data)
+        entry["count"] = count
+        entry["total"] = float(data.get("total", 0.0)) - float(prev.get("total", 0.0))
+        histograms[name] = entry
+    return {
+        "counters": counters,
+        "gauges": dict(after.get("gauges") or {}),
+        "histograms": histograms,
+    }

@@ -1,0 +1,245 @@
+"""Span tracer with Chrome/Perfetto ``trace.json`` and JSONL exporters.
+
+Events follow the Chrome trace-event format (the JSON object form with a
+``traceEvents`` array), which both ``chrome://tracing`` and Perfetto load
+directly.  The tracer records three phases:
+
+* ``X`` (complete) -- one event per span, carrying ``ts``/``dur`` in
+  microseconds relative to the tracer's epoch.  Spans are recorded at
+  *exit*, so the raw buffer is not ts-sorted; both exporters sort.
+* ``C`` (counter) -- time series samples, e.g. the fixed point's
+  per-iteration max delta (rendered by Perfetto as a counter track).
+* ``i`` (instant) -- point annotations.
+
+:func:`validate_trace_events` independently checks the invariants the CI
+trace smoke job relies on: well-formed phases, complete ``X`` events (or
+matched ``B``/``E`` pairs, accepted for third-party traces), non-negative
+durations, monotonic ``ts`` per ``(pid, tid)`` and proper span nesting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "Tracer",
+    "chrome_trace_document",
+    "validate_trace_events",
+    "validate_trace_file",
+]
+
+#: Hard cap on buffered events: a runaway metaheuristic loop with tracing on
+#: degrades to dropped events (counted), never to unbounded memory.
+MAX_EVENTS = 1_000_000
+
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+class Tracer:
+    """Append-only, lock-protected buffer of Chrome trace events."""
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict[str, Any]] = []
+        self._epoch = time.perf_counter()
+        self.max_events = max_events
+        self.dropped = 0
+
+    def _stamp(self, start: float) -> float:
+        return round((start - self._epoch) * 1e6, 3)
+
+    def _append(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    def record_complete(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        args: dict[str, Any] | None = None,
+        cat: str = "repro",
+    ) -> None:
+        """One ``X`` event; ``start`` is a ``time.perf_counter()`` reading."""
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": self._stamp(start),
+            "dur": round(max(duration, 0.0) * 1e6, 3),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def record_instant(self, name: str, args: dict[str, Any] | None = None) -> None:
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": "repro",
+            "ph": "i",
+            "s": "t",
+            "ts": self._stamp(time.perf_counter()),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def record_counter(self, name: str, values: dict[str, float]) -> None:
+        """One ``C`` sample; Perfetto renders one track per key."""
+        self._append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "C",
+                "ts": self._stamp(time.perf_counter()),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": dict(values),
+            }
+        )
+
+    def events(self) -> list[dict[str, Any]]:
+        """A ts-sorted copy (parents before children on ties)."""
+        with self._lock:
+            events = list(self._events)
+        return sorted(events, key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+        self._epoch = time.perf_counter()
+
+    def export_chrome(self, path: "str | Path") -> Path:
+        """Write the Chrome/Perfetto ``trace.json`` object form."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(chrome_trace_document(self.events())))
+        return path
+
+    def export_jsonl(self, path: "str | Path") -> Path:
+        """One event per line -- greppable / streamable form."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event))
+                handle.write("\n")
+        return path
+
+
+def chrome_trace_document(events: list[dict[str, Any]]) -> dict[str, Any]:
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def _check_common(event: Any, index: int, findings: list[str]) -> bool:
+    if not isinstance(event, dict):
+        findings.append(f"event {index}: not an object")
+        return False
+    phase = event.get("ph")
+    if phase not in _KNOWN_PHASES:
+        findings.append(f"event {index}: unknown phase {phase!r}")
+        return False
+    if phase != "M" and not isinstance(event.get("name"), str):
+        findings.append(f"event {index}: missing name")
+        return False
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        findings.append(f"event {index}: bad ts {ts!r}")
+        return False
+    if phase == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            findings.append(f"event {index} ({event.get('name')}): bad dur {dur!r}")
+            return False
+    return True
+
+
+def validate_trace_events(events: Iterable[Any]) -> list[str]:
+    """Schema + nesting findings for a trace-event list (empty == valid).
+
+    Checks: known phases; ``X`` events carry a non-negative ``dur``;
+    ``B``/``E`` pairs balance per thread; per ``(pid, tid)`` the events are
+    ``ts``-monotonic as listed and ``X`` spans nest without partial overlap.
+    """
+    findings: list[str] = []
+    lanes: dict[tuple[Any, Any], list[dict[str, Any]]] = {}
+    for index, event in enumerate(events):
+        if not _check_common(event, index, findings):
+            continue
+        if event.get("ph") == "M":
+            continue
+        lanes.setdefault((event.get("pid"), event.get("tid")), []).append(event)
+
+    for (pid, tid), lane in lanes.items():
+        last_ts = -1.0
+        open_begins = 0
+        # stack of X-span end times; a new span starting inside the top span
+        # must also end inside it (partial overlap is malformed nesting)
+        stack: list[float] = []
+        for event in lane:
+            ts = float(event["ts"])
+            if ts < last_ts:
+                findings.append(
+                    f"tid {pid}/{tid}: ts not monotonic at {event.get('name')!r}"
+                    f" ({ts} < {last_ts})"
+                )
+            last_ts = ts
+            phase = event["ph"]
+            if phase == "B":
+                open_begins += 1
+            elif phase == "E":
+                open_begins -= 1
+                if open_begins < 0:
+                    findings.append(f"tid {pid}/{tid}: E without matching B")
+                    open_begins = 0
+            elif phase == "X":
+                end = ts + float(event["dur"])
+                while stack and stack[-1] <= ts + 1e-9:
+                    stack.pop()
+                if stack and end > stack[-1] + 1e-6:
+                    findings.append(
+                        f"tid {pid}/{tid}: span {event.get('name')!r} overlaps"
+                        f" its enclosing span ({end} > {stack[-1]})"
+                    )
+                stack.append(end)
+        if open_begins:
+            findings.append(f"tid {pid}/{tid}: {open_begins} unmatched B event(s)")
+    return findings
+
+
+def validate_trace_file(path: "str | Path") -> list[str]:
+    """Validate a ``trace.json`` file (object form or bare event array)."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["trace object has no traceEvents array"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return ["trace document is neither an object nor an array"]
+    return validate_trace_events(events)

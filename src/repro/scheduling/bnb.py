@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
@@ -104,7 +105,14 @@ def branch_and_bound_schedule(
             recurse(index + 1, mapping)
             del mapping[tid]
 
-    recurse(0, {})
+    with obs.span("schedule.bnb", tasks=len(leaf_tasks), cores=len(core_ids)) as bnb_span:
+        recurse(0, {})
+        bnb_span.set(nodes=stats.nodes_explored, pruned=stats.pruned)
+    if obs.obs_enabled():
+        registry = obs.metrics()
+        registry.counter("bnb.nodes").inc(stats.nodes_explored)
+        registry.counter("bnb.leaves").inc(stats.leaves_evaluated)
+        registry.counter("bnb.pruned").inc(stats.pruned)
     if best_schedule is None:  # pragma: no cover - defensive
         raise RuntimeError("branch and bound failed to produce a schedule")
     best_schedule.metadata["nodes_explored"] = float(stats.nodes_explored)

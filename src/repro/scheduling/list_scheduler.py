@@ -36,6 +36,7 @@ import heapq
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function
@@ -220,7 +221,10 @@ class WcetAwareListScheduler:
             busy_starts[best_core].append(best_start)
             busy_ends[best_core].append(best_finish)
 
+        max_ready = len(ready)
         while ready:
+            if len(ready) > max_ready:
+                max_ready = len(ready)
             _, tid = heapq.heappop(ready)
             place(tid)
             for succ in succs[tid]:
@@ -233,12 +237,22 @@ class WcetAwareListScheduler:
                 if tid not in mapping:
                     place(tid)
 
+        if obs.obs_enabled():
+            registry = obs.metrics()
+            registry.counter("scheduler.list_runs").inc()
+            registry.histogram("scheduler.ready_set_max").observe(max_ready)
         order = {c: tids for c, tids in order.items() if tids}
-        schedule = evaluate_mapping(
-            htg, function, self.platform, mapping, order,
-            scheduler="wcet_list" if not self.use_average_costs else "acet_list",
-            cache=self.cache,
-        )
+        with obs.span(
+            "schedule.list",
+            tasks=len(leaf_tasks),
+            cores=len(core_ids),
+            average=self.use_average_costs,
+        ):
+            schedule = evaluate_mapping(
+                htg, function, self.platform, mapping, order,
+                scheduler="wcet_list" if not self.use_average_costs else "acet_list",
+                cache=self.cache,
+            )
         schedule.metadata["estimated_makespan"] = max(finish.values(), default=0.0)
         return schedule
 

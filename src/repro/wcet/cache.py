@@ -152,6 +152,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Collection, Iterator
 
+from repro import obs
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.htg.task import Task
 from repro.ir.printer import function_to_c, to_c
@@ -784,6 +785,11 @@ class WcetAnalysisCache(_ShardBackedTier):
                     if aged:
                         path.unlink(missing_ok=True)
                         stats_shards_removed += 1
+        if obs.obs_enabled():
+            registry = obs.metrics()
+            registry.counter("cache.evictions").inc()
+            registry.counter("cache.evicted_entries").inc(evicted)
+            registry.counter("cache.kept_entries").inc(kept_count)
         return {
             "kept": kept_count,
             "evicted": evicted,
@@ -1005,6 +1011,10 @@ class SystemResultCache(_ShardBackedTier):
             "makespan": result.makespan,
             "iterations": result.iterations,
             "converged": bool(result.converged),
+            # convergence evidence (optional key: pre-PR-10 records default
+            # to 0.0 on replay; ``iteration_deltas`` is diagnostic-only and
+            # deliberately not serialized, like ``warm_info``)
+            "final_delta": getattr(result, "final_delta", 0.0),
             "interference": result.interference_cycles,
             "communication": result.communication_cycles,
             "tasks": {
@@ -1068,6 +1078,7 @@ class SystemResultCache(_ShardBackedTier):
                 if "allowed" in record
                 else None
             ),
+            final_delta=float(record.get("final_delta", 0.0)),
         )
 
     @staticmethod
@@ -1096,6 +1107,7 @@ class SystemResultCache(_ShardBackedTier):
             float(record["makespan"])
             float(record["interference"])
             float(record["communication"])
+            float(record.get("final_delta", 0.0))
             int(record["iterations"])
             return isinstance(record["converged"], bool)
         except (KeyError, TypeError, ValueError):

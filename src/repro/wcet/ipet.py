@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.optimize import linprog
 
+from repro import obs
 from repro.ir.cfg import ControlFlowGraph, build_cfg
 from repro.ir.program import Function
 from repro.wcet.code_level import statement_wcet, _expr_cost
@@ -210,15 +211,21 @@ def ipet_wcet(
                 bounds[i] = (0, 0)
                 pinned.add(key)
 
-    result = linprog(
-        c,
-        A_eq=np.array(a_eq_rows),
-        b_eq=np.array(b_eq),
-        A_ub=np.array(a_ub_rows) if a_ub_rows else None,
-        b_ub=np.array(b_ub) if b_ub else None,
-        bounds=bounds,
-        method="highs",
-    )
+    if obs.obs_enabled():
+        registry = obs.metrics()
+        registry.counter("ipet.solves").inc()
+        registry.histogram("ipet.vars").observe(num_vars)
+        registry.histogram("ipet.constraints").observe(len(a_eq_rows) + len(a_ub_rows))
+    with obs.span("ipet.solve", function=function.name, vars=num_vars):
+        result = linprog(
+            c,
+            A_eq=np.array(a_eq_rows),
+            b_eq=np.array(b_eq),
+            A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            bounds=bounds,
+            method="highs",
+        )
     if not result.success:
         raise IpetError(f"IPET LP failed for {function.name!r}: {result.message}")
 

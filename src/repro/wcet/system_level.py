@@ -37,11 +37,15 @@ bit-for-bit identical to the double loop (the test suite asserts this).
 
 from __future__ import annotations
 
+import operator
 import os
+import time
+from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator
 
+from repro import obs
 from repro.adl.architecture import Platform
 from repro.htg.graph import HierarchicalTaskGraph
 from repro.ir.program import Function, Storage
@@ -118,6 +122,17 @@ class SystemWcetResult:
     #: Diagnostics of the warm-start path (``None`` for cold runs and
     #: results replayed from the result tier; never serialized).
     warm_info: dict | None = None
+    #: Convergence evidence backing the ``converged`` flag: the maximum
+    #: absolute change of any task's effective WCET at the last completed
+    #: iteration.  Exactly ``0.0`` when converged (the fixed point exits on
+    #: dict equality); positive when the iteration cap was hit and the
+    #: all-cores-contend fallback engaged.  Round-trips through the result
+    #: tier (older cache records default it to 0.0).
+    final_delta: float = 0.0
+    #: The full per-iteration max-delta curve, collected only while
+    #: observability (:mod:`repro.obs`) is enabled -- diagnostic like
+    #: ``warm_info``, never serialized.
+    iteration_deltas: "tuple[float, ...] | None" = None
 
     def interval(self, task_id: str) -> Interval:
         return self.task_intervals[task_id]
@@ -726,6 +741,10 @@ def system_level_wcet(
             static_pruning=use_pruning,
         )
         memoized = result_tier.get(result_key)
+        if obs.obs_enabled():
+            obs.metrics().counter(
+                "system_cache.hits" if memoized is not None else "system_cache.misses"
+            ).inc()
         if memoized is not None:
             if certify:
                 _certify_replayed_result(memoized, htg, platform, order, function)
@@ -742,42 +761,131 @@ def system_level_wcet(
     # only tasks that actually touch shared resources can contend
     sharers = [tid for tid in leaf_ids if shared_accesses[tid] > 0]
     allowed: dict[str, tuple[str, ...]] | None = None
+    pairs_per_pass = 0
     if use_pruning:
         # imported lazily for the same reason as the certify machinery: the
         # analysis package depends on this module's types
         from repro.analysis.static_mhp import compute_static_mhp
 
-        allowed = compute_static_mhp(htg, function, mapping, sharers=sharers).allowed
+        relation = compute_static_mhp(htg, function, mapping, sharers=sharers)
+        allowed = relation.allowed
+        if obs.obs_enabled():
+            registry = obs.metrics()
+            registry.counter("mhp.pairs_candidate").inc(relation.candidate_pairs)
+            registry.counter("mhp.pairs_kept").inc(relation.kept_pairs)
+            registry.counter("mhp.pairs_pruned").inc(
+                relation.candidate_pairs - relation.kept_pairs
+            )
+            pairs_per_pass = sum(len(v) for v in allowed.values())
         mhp_pass = _make_pruned_mhp_pass(
             leaf_ids, allowed, mapping, mhp_backend, min_pairs
         )
     else:
+        if obs.obs_enabled():
+            # O(tasks + sharers) pair count: for each task every sharer on a
+            # *different* core is a candidate (sid == tid shares its own core,
+            # so the per-core tally already excludes it)
+            sharers_per_core = Counter(mapping[sid] for sid in sharers)
+            pairs_per_pass = sum(
+                len(sharers) - sharers_per_core.get(mapping[tid], 0)
+                for tid in leaf_ids
+            )
+            obs.metrics().counter("mhp.pairs_candidate").inc(pairs_per_pass)
         mhp_pass = _pick_mhp_pass(mhp_backend, len(leaf_ids), len(sharers), min_pairs)
     timeline = _TimelineBuilder(htg, mapping, order, comm_delay)
 
-    def iterate(
-        effective: dict[str, float], contenders: dict[str, int]
-    ) -> tuple[dict[str, float], dict[str, int], dict[str, Interval], float, int, bool]:
+    def iterate(effective: dict[str, float], contenders: dict[str, int]) -> tuple[
+        dict[str, float],
+        dict[str, int],
+        dict[str, Interval],
+        float,
+        int,
+        bool,
+        float,
+        "tuple[float, ...] | None",
+    ]:
         intervals: dict[str, Interval] = {}
         makespan = 0.0
         converged = False
         iterations = 0
-        for iterations in range(1, max_iterations + 1):
-            intervals, makespan = timeline.build(effective)
-            new_contenders = mhp_pass(leaf_ids, sharers, mapping, intervals)
-            new_effective = {
-                tid: base_wcet[tid]
-                + shared_accesses[tid]
-                * models[mapping[tid]].shared_access_penalty(new_contenders[tid])
-                for tid in leaf_ids
-            }
-            if new_effective == effective and new_contenders == contenders:
-                converged = True
+        final_delta = 0.0
+        obs_on = obs.obs_enabled()
+        deltas: list[float] = []
+        fp_span = obs.span(
+            "fixed_point", tasks=len(leaf_ids), sharers=len(sharers), pruned=use_pruning
+        )
+        with fp_span:
+            for iterations in range(1, max_iterations + 1):
+                iter_start = time.perf_counter() if obs_on else 0.0
+                intervals, makespan = timeline.build(effective)
+                new_contenders = mhp_pass(leaf_ids, sharers, mapping, intervals)
+                new_effective = {
+                    tid: base_wcet[tid]
+                    + shared_accesses[tid]
+                    * models[mapping[tid]].shared_access_penalty(new_contenders[tid])
+                    for tid in leaf_ids
+                }
+                if obs_on or iterations == max_iterations:
+                    # the max-delta is evidence for the converged flag; off the
+                    # observed path it is only needed at the iteration cap
+                    if not leaf_ids:
+                        final_delta = 0.0
+                    elif iterations == 1:
+                        # the seed dict (warm start / base WCETs) has no
+                        # guaranteed key order, so go through the keys once
+                        final_delta = max(
+                            abs(new_effective[t] - effective[t]) for t in leaf_ids
+                        )
+                    else:
+                        # ``effective`` is last iteration's ``new_effective``:
+                        # identical insertion order, so the value views align
+                        # (C-level map, the per-iteration observed hot path)
+                        final_delta = max(
+                            map(
+                                abs,
+                                map(
+                                    operator.sub,
+                                    new_effective.values(),
+                                    effective.values(),
+                                ),
+                            )
+                        )
+                if obs_on:
+                    deltas.append(final_delta)
+                    obs.trace_complete(
+                        "fixed_point.iteration",
+                        iter_start,
+                        time.perf_counter() - iter_start,
+                        {"iteration": iterations, "max_delta": final_delta},
+                    )
+                    obs.trace_counter("fixed_point.max_delta", {"delta": final_delta})
+                if new_effective == effective and new_contenders == contenders:
+                    converged = True
+                    contenders = new_contenders
+                    final_delta = 0.0
+                    break
+                effective = new_effective
                 contenders = new_contenders
-                break
-            effective = new_effective
-            contenders = new_contenders
-        return effective, contenders, intervals, makespan, iterations, converged
+            fp_span.set(iterations=iterations, converged=converged)
+        if obs_on:
+            registry = obs.metrics()
+            registry.counter("fixed_point.runs").inc()
+            registry.counter("fixed_point.iterations").inc(iterations)
+            if not converged:
+                registry.counter("fixed_point.not_converged").inc()
+            registry.histogram("fixed_point.final_delta").observe(final_delta)
+            if pairs_per_pass:
+                registry.counter("mhp.pairs_tested").inc(pairs_per_pass * iterations)
+        return (
+            effective,
+            contenders,
+            intervals,
+            makespan,
+            iterations,
+            converged,
+            final_delta,
+            tuple(deltas) if obs_on else None,
+        )
 
     communication = sum(
         comm_delay(e.src, e.dst)
@@ -793,6 +901,8 @@ def system_level_wcet(
         iterations: int,
         converged: bool,
         warm_info: dict | None,
+        final_delta: float = 0.0,
+        iteration_deltas: "tuple[float, ...] | None" = None,
     ) -> SystemWcetResult:
         return SystemWcetResult(
             makespan=makespan,
@@ -810,6 +920,8 @@ def system_level_wcet(
             task_shared_accesses=dict(shared_accesses),
             mhp_allowed=allowed,
             warm_info=warm_info,
+            final_delta=final_delta,
+            iteration_deltas=iteration_deltas,
         )
 
     if warm_start is None:
@@ -823,9 +935,16 @@ def system_level_wcet(
             warm_info = {"warm_started": False, "fallback": "all_cores_dirty"}
         else:
             seed_effective, seed_contenders, dirty_cores = seed
-            effective, contenders, intervals, makespan, iterations, converged = iterate(
-                seed_effective, seed_contenders
-            )
+            (
+                effective,
+                contenders,
+                intervals,
+                makespan,
+                iterations,
+                converged,
+                final_delta,
+                iteration_deltas,
+            ) = iterate(seed_effective, seed_contenders)
             if converged:
                 candidate = build_result(
                     effective,
@@ -841,6 +960,8 @@ def system_level_wcet(
                         "iterations": iterations,
                         "certified": True,
                     },
+                    final_delta=final_delta,
+                    iteration_deltas=iteration_deltas,
                 )
                 if _warm_result_certified(candidate, htg, platform, order):
                     # deliberately NOT stored in the result tier (see docstring)
@@ -849,9 +970,16 @@ def system_level_wcet(
             else:
                 warm_info = {"warm_started": False, "fallback": "not_converged"}
 
-    effective, contenders, intervals, makespan, iterations, converged = iterate(
-        dict(base_wcet), {tid: 0 for tid in leaf_ids}
-    )
+    (
+        effective,
+        contenders,
+        intervals,
+        makespan,
+        iterations,
+        converged,
+        final_delta,
+        iteration_deltas,
+    ) = iterate(dict(base_wcet), {tid: 0 for tid in leaf_ids})
     if not converged:
         # Safety fall-back: assume every other core contends on every access.
         # The reported contender counts are re-derived from that assumption so
@@ -879,7 +1007,15 @@ def system_level_wcet(
         intervals, makespan = timeline.build(effective)
 
     result = build_result(
-        effective, contenders, intervals, makespan, iterations, converged, warm_info
+        effective,
+        contenders,
+        intervals,
+        makespan,
+        iterations,
+        converged,
+        warm_info,
+        final_delta=final_delta,
+        iteration_deltas=iteration_deltas,
     )
     if result_tier is not None and result_key is not None:
         result_tier.put(result_key, result)
